@@ -1,0 +1,26 @@
+"""Shared machinery for the experiment benchmarks (E1–E10).
+
+Every benchmark prints the paper-style rows recorded in EXPERIMENTS.md.
+`run_once(benchmark, fn)` wraps pytest-benchmark so each simulation runs
+exactly once (simulations are deterministic; statistical repetition adds
+nothing but wall time) while still recording wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.metrics.report import format_table
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Benchmark ``fn`` with a single round (deterministic simulation)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(title: str, rows: List[Dict[str, object]], notes: str = "") -> None:
+    """Print an experiment's result table (shown with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows))
+    if notes:
+        print(notes)

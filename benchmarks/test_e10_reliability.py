@@ -1,0 +1,95 @@
+"""E10 — best-effort reliability under wireless loss (§4.2.3, [5]).
+
+Claim: the local-scope retransmission scheme gives "highly probable
+reliability ... when the network is highly stable", and the really-lost
+rule (Received=False ∧ Waiting=False ⇒ Delivered) keeps ordered
+delivery from wedging no matter the loss.
+
+Sweep the wireless loss probability.  Expected shape: delivery ratio
+degrades gracefully (retransmission absorbs low loss almost entirely);
+at any loss rate the protocol never wedges (every NE drains to its rear
+once sources stop) and the ordered-prefix property holds.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import RingNet
+from repro.metrics.collectors import ReliabilityCollector
+from repro.metrics.order_checker import OrderChecker
+from repro.net.link import LinkSpec
+from repro.sim.engine import Simulator
+from repro.topology.builder import HierarchySpec
+
+from _common import emit, run_once
+
+SPEC = HierarchySpec(n_br=3, ags_per_br=2, aps_per_ag=2, mhs_per_ap=2)
+LOSSES = [0.0, 0.02, 0.05, 0.10, 0.20]
+DURATION = 8_000.0
+DRAIN = 20_000.0
+
+
+def run_cell(loss: float, max_retries: int = 5) -> dict:
+    sim = Simulator(seed=1010)
+    cfg = ProtocolConfig(gap_timeout=40.0, max_retries=max_retries)
+    net = RingNet.build(sim, SPEC, cfg=cfg,
+                        wireless=LinkSpec(latency=5.0, jitter=2.0,
+                                          loss_prob=loss))
+    checker = OrderChecker(sim.trace)
+    rel = ReliabilityCollector(sim.trace)
+    src = net.add_source(corresponding="br:0", rate_per_sec=25)
+    net.start()
+    src.start()
+    sim.run(until=DURATION)
+    src.stop()
+    sim.run(until=DRAIN)
+    checker.assert_ok()
+    # No wedging: every NE fully processed the stream.
+    wedged = sum(1 for ne in net.nes.values() if ne.mq.front < ne.mq.rear)
+    accounted = min(m.delivered_count + m.tombstones
+                    for m in net.member_hosts())
+    return {
+        "wireless loss": loss,
+        "retries": max_retries,
+        "delivery ratio": round(rel.delivery_ratio(), 4),
+        "worst MH ratio": round(rel.worst_mh_ratio(), 4),
+        "accounted (min MH)": f"{accounted}/{src.sent}",
+        "wedged NEs": wedged,
+        "order violations": len(checker.violations),
+    }
+
+
+def run_sweep() -> list:
+    # Full-strength retransmission (the deployed configuration) and a
+    # deliberately starved one (zero channel retries, brutal loss) that
+    # forces the really-lost tombstoning path to carry the protocol.
+    # Note the layering: even with zero *channel* retries, the
+    # local-scope gap recovery (§4.2.3) re-serves most holes — it takes
+    # both tiers starved plus heavy loss before messages tombstone.
+    rows = [run_cell(p, max_retries=5) for p in LOSSES]
+    rows += [run_cell(p, max_retries=0) for p in (0.3, 0.5)]
+    return rows
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_reliability_degrades_gracefully(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit("E10 best-effort reliability vs wireless loss", rows,
+         "paper: local-scope retransmission gives high reliability when "
+         "stable; really-lost tombstoning prevents wedging at any loss")
+    strong = [r for r in rows if r["retries"] == 5]
+    weak = [r for r in rows if r["retries"] == 0]
+    ratios = [r["delivery ratio"] for r in strong]
+    # Retransmission absorbs i.i.d. loss almost entirely at full strength.
+    assert ratios[0] == 1.0
+    assert ratios[1] > 0.999
+    assert ratios[-1] > 0.95
+    # Starved retransmission degrades but *never wedges or disorders*.
+    assert any(w["delivery ratio"] < 1.0 for w in weak)
+    assert all(w["delivery ratio"] > 0.5 for w in weak)
+    # Never wedged, never out of order, everything accounted for.
+    assert all(r["wedged NEs"] == 0 for r in rows)
+    assert all(r["order violations"] == 0 for r in rows)
+    for r in rows:
+        got, sent = r["accounted (min MH)"].split("/")
+        assert int(got) >= int(sent) - 3

@@ -1,0 +1,79 @@
+"""E1 — Theorem 5.1 throughput parity.
+
+Claim: "our totally-ordered multicast protocol provides the same
+multicast throughput [as the protocol without ordering requirement],
+s·λ messages each time unit."
+
+For each (s, λ) cell we run the ordered protocol and the unordered
+baseline on the same hierarchy and compare steady-state per-MH goodput
+against s·λ.  Expected shape: all three columns equal (±5%).
+"""
+
+import pytest
+
+from repro.baselines.unordered import UnorderedRingNet
+from repro.core.protocol import RingNet
+from repro.metrics.collectors import ThroughputCollector
+from repro.sim.engine import Simulator
+from repro.topology.builder import HierarchySpec
+
+from _common import emit, run_once
+
+SPEC = HierarchySpec(n_br=4, ags_per_br=2, aps_per_ag=2, mhs_per_ap=1)
+DURATION = 10_000.0
+MEASURE_FROM = 3_000.0
+CELLS = [(1, 20.0), (2, 20.0), (4, 10.0), (4, 20.0)]
+
+
+def goodput_ordered(s: int, lam: float) -> float:
+    sim = Simulator(seed=101)
+    net = RingNet.build(sim, SPEC)
+    thr = ThroughputCollector(sim.trace)
+    top = net.hierarchy.top_ring.members
+    sources = [net.add_source(corresponding=top[i], rate_per_sec=lam)
+               for i in range(s)]
+    net.start()
+    for i, src in enumerate(sources):
+        src.start(delay=i * 3.0)
+    sim.run(until=DURATION)
+    return thr.goodput(MEASURE_FROM, DURATION)
+
+
+def goodput_unordered(s: int, lam: float) -> float:
+    sim = Simulator(seed=101)
+    net = UnorderedRingNet.build(sim, SPEC)
+    thr = ThroughputCollector(sim.trace)
+    top = net.hierarchy.top_ring.members
+    sources = [net.add_source(corresponding=top[i], rate_per_sec=lam)
+               for i in range(s)]
+    for i, src in enumerate(sources):
+        src.start(delay=i * 3.0)
+    sim.run(until=DURATION)
+    return thr.goodput(MEASURE_FROM, DURATION)
+
+
+def run_sweep() -> list:
+    rows = []
+    for s, lam in CELLS:
+        ordered = goodput_ordered(s, lam)
+        unordered = goodput_unordered(s, lam)
+        target = s * lam
+        rows.append({
+            "s": s,
+            "lambda": lam,
+            "s*lambda (msg/s)": target,
+            "ordered (msg/s)": round(ordered, 2),
+            "unordered (msg/s)": round(unordered, 2),
+            "parity": "yes" if abs(ordered - target) / target < 0.05
+                       and abs(ordered - unordered) / target < 0.05 else "NO",
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_throughput_parity(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit("E1 Theorem 5.1 throughput: ordered == unordered == s*lambda",
+         rows,
+         "paper: identical throughput with and without ordering")
+    assert all(r["parity"] == "yes" for r in rows)

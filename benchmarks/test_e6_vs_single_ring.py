@@ -1,0 +1,93 @@
+"""E6 — RingNet vs the single logical ring of Nikolaidis & Harms [16].
+
+Claim (§2): "since all the control information has to be rotated along
+the ring, it may lead to large latency and require large buffers when
+the ring becomes large.  Each logical ring within our proposed RingNet
+model functions in a similar way, but it deals with only a local scope."
+
+Both systems run the identical ordering/token/reliability stack; only
+the distribution vehicle differs.  Expected shape: single-ring latency
+grows ~linearly with N; RingNet latency is near-flat (small local rings
++ fixed tree depth); the crossover sits at very small N.
+"""
+
+import pytest
+
+from repro.baselines.single_ring import SingleRingMulticast
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import RingNet
+from repro.metrics.collectors import LatencyCollector
+from repro.sim.engine import Simulator
+from repro.topology.builder import HierarchySpec
+
+from _common import emit, run_once
+
+DURATION = 10_000.0
+RATE = 15.0
+CFG = ProtocolConfig(mq_retention=16)
+SIZES = [6, 12, 24, 48]
+
+
+def single_ring_cell(n: int) -> dict:
+    sim = Simulator(seed=606)
+    ring = SingleRingMulticast.build_ring(sim, n_bs=n, mhs_per_bs=1, cfg=CFG)
+    lat = LatencyCollector(sim.trace, warmup=2_500.0)
+    src = ring.add_source(corresponding="bs:0", rate_per_sec=RATE)
+    ring.start()
+    src.start()
+    sim.run(until=DURATION)
+    peaks = ring.ring_peak_buffers()
+    return {
+        "system": "single-ring",
+        "N": n,
+        "p50 (ms)": round(lat.summary()["p50"], 1),
+        "p99 (ms)": round(lat.summary()["p99"], 1),
+        "peak wq+mq": peaks["wq_peak"] + peaks["mq_peak"],
+    }
+
+
+def ringnet_cell(n: int) -> dict:
+    ags_per_br = 2
+    aps_per_ag = max(1, n // (3 * ags_per_br))
+    sim = Simulator(seed=606)
+    net = RingNet.build(sim, HierarchySpec(n_br=3, ags_per_br=ags_per_br,
+                                           aps_per_ag=aps_per_ag,
+                                           mhs_per_ap=1), cfg=CFG)
+    lat = LatencyCollector(sim.trace, warmup=2_500.0)
+    src = net.add_source(corresponding="br:0", rate_per_sec=RATE)
+    net.start()
+    src.start()
+    sim.run(until=DURATION)
+    peak = max(r["wq_peak"] + r["mq_peak"] for r in net.buffer_reports())
+    return {
+        "system": "ringnet",
+        "N": 3 * ags_per_br * aps_per_ag,
+        "p50 (ms)": round(lat.summary()["p50"], 1),
+        "p99 (ms)": round(lat.summary()["p99"], 1),
+        "peak wq+mq": peak,
+    }
+
+
+def run_sweep() -> list:
+    rows = []
+    for n in SIZES:
+        rows.append(single_ring_cell(n))
+        rows.append(ringnet_cell(n))
+    return rows
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_single_ring_degrades_with_size(benchmark):
+    rows = run_once(benchmark, run_sweep)
+    emit("E6 distribution vehicle: one big ring [16] vs RingNet", rows,
+         "paper: single ring => large latency/buffers at scale; RingNet "
+         "keeps local scopes")
+    single = {r["N"]: r for r in rows if r["system"] == "single-ring"}
+    ringnet = {r["N"]: r for r in rows if r["system"] == "ringnet"}
+    # Single ring degrades super-linearly vs its own small size...
+    assert single[48]["p50 (ms)"] > 3 * single[6]["p50 (ms)"]
+    # ...while RingNet stays near-flat (< 1.5x from smallest to largest).
+    r_small = min(ringnet),
+    assert ringnet[max(ringnet)]["p50 (ms)"] < 1.5 * ringnet[min(ringnet)]["p50 (ms)"]
+    # And RingNet wins outright at the largest size.
+    assert ringnet[max(ringnet)]["p50 (ms)"] < single[48]["p50 (ms)"]

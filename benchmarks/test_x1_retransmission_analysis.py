@@ -1,0 +1,110 @@
+"""X1 — retransmission analysis (the paper's stated future work).
+
+Paper §5: "buffer sizes ... may be larger and message latency may be
+larger to accommodate retransmission.  We will do more analysis in our
+future work regarding retransmission."
+
+:mod:`repro.analysis.retransmission` provides the closed forms; this
+experiment validates them against the transport layer in isolation
+(single lossy hop, so no higher-tier recovery masks the channel):
+
+* measured per-message transmission count ≈ ``E[attempts]``;
+* measured delivery ratio ≈ ``1 - p^(k+1)``;
+* measured mean extra latency (beyond the lossless one-way time)
+  ≈ ``rto · E[i | delivered]``.
+"""
+
+import pytest
+
+from repro.analysis.retransmission import RetransmissionModel
+from repro.net.fabric import Fabric
+from repro.net.link import LinkSpec
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.net.transport import ReliableChannel
+from repro.sim.engine import Simulator
+
+from _common import emit, run_once
+
+N_MESSAGES = 2_000
+RTO = 20.0
+LATENCY = 2.0
+CASES = [(0.1, 5), (0.3, 5), (0.3, 2), (0.5, 3)]
+
+
+class _Payload(Message):
+    __slots__ = ("n", "born")
+
+    def __init__(self, n: int, born: float):
+        self.n = n
+        self.born = born
+
+
+class _Rx(NetNode):
+    def __init__(self, fabric, node_id):
+        super().__init__(fabric, node_id)
+        self.chan = ReliableChannel(self)
+        self.latencies = []
+
+    def on_message(self, msg):
+        payload = self.chan.accept(msg)
+        if payload is not None:
+            self.latencies.append(self.now - payload.born)
+
+
+class _Tx(NetNode):
+    def __init__(self, fabric, node_id, rto, max_retries):
+        super().__init__(fabric, node_id)
+        self.chan = ReliableChannel(self, rto=rto, max_retries=max_retries)
+
+    def on_message(self, msg):
+        self.chan.accept(msg)
+
+
+def run_case(p: float, retries: int) -> dict:
+    model = RetransmissionModel(loss_prob=p, rto=RTO, max_retries=retries)
+    sim = Simulator(seed=2_024)
+    fabric = Fabric(sim)
+    tx = _Tx(fabric, "tx", RTO, retries)
+    rx = _Rx(fabric, "rx")
+    fabric.connect("tx", "rx", LinkSpec(latency=LATENCY, loss_prob=p))
+
+    def emit_one(i: int) -> None:
+        tx.chan.send("rx", _Payload(i, sim.now))
+
+    for i in range(N_MESSAGES):
+        sim.schedule_at(i * (RTO * (retries + 2)), emit_one, i)
+    sim.run()
+
+    stats = tx.chan.stats
+    measured_attempts = (stats.sent + stats.retransmitted) / stats.sent
+    measured_ratio = len(rx.latencies) / N_MESSAGES
+    # Extra latency beyond the lossless one-way time.
+    measured_extra = (sum(rx.latencies) / len(rx.latencies)) - LATENCY
+    row = model.rows()
+    row.update({
+        "meas attempts": round(measured_attempts, 4),
+        "meas P(deliver)": round(measured_ratio, 4),
+        "meas E[extra] (ms)": round(measured_extra, 3),
+    })
+    return row
+
+
+def run_all() -> list:
+    return [run_case(p, k) for p, k in CASES]
+
+
+@pytest.mark.benchmark(group="x1")
+def test_x1_retransmission_model_matches_measurement(benchmark):
+    rows = run_once(benchmark, run_all)
+    emit("X1 retransmission analysis (paper future work): model vs measured",
+         rows,
+         "single lossy hop, isolated channel; the protocol's gap recovery "
+         "adds a second tier on top of these floors")
+    for row in rows:
+        assert row["meas attempts"] == pytest.approx(row["E[attempts]"],
+                                                     rel=0.05)
+        assert row["meas P(deliver)"] == pytest.approx(row["P(deliver)"],
+                                                       abs=0.02)
+        assert row["meas E[extra] (ms)"] == pytest.approx(
+            row["E[extra] (ms)"], rel=0.15, abs=0.5)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517/660 editable installs (which build a wheel) fail.  This shim
+lets ``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the classic egg-link editable install.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""RingNet: a reliable totally-ordered group multicast protocol for
+mobile Internet — a full reproduction of Wang, Cao & Chan (ICPPW 2004).
+
+Package map
+-----------
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+* :mod:`repro.net` — network substrate (links, fabric, reliable transport).
+* :mod:`repro.topology` — the RingNet hierarchy (rings + tree).
+* :mod:`repro.membership` — group membership bookkeeping.
+* :mod:`repro.mobility` — cells, movement models, handoff driving.
+* :mod:`repro.core` — **the paper's protocol**: ordering, forwarding,
+  delivering, token recovery, MMAs, handoff.
+* :mod:`repro.baselines` — unordered / single-ring / Host-View / RelM /
+  sequencer comparators.
+* :mod:`repro.metrics` — collectors and the total-order checker.
+* :mod:`repro.analysis` — Theorem 5.1 bounds.
+* :mod:`repro.workloads` — sources, churn, scenarios.
+
+Quickstart
+----------
+>>> from repro.sim import Simulator
+>>> from repro.core import RingNet
+>>> from repro.topology import HierarchySpec
+>>> sim = Simulator(seed=7)
+>>> net = RingNet.build(sim, HierarchySpec())
+>>> src = net.add_source(rate_per_sec=20)
+>>> net.start(); src.start()
+>>> sim.run(until=5000)
+>>> net.total_app_deliveries() > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+from repro.core import ProtocolConfig, RingNet
+from repro.topology import HierarchySpec
+
+__all__ = ["Simulator", "RingNet", "ProtocolConfig", "HierarchySpec",
+           "__version__"]

@@ -1,0 +1,13 @@
+"""Analytic side of the reproduction: Theorem 5.1 bounds and comparisons.
+
+:mod:`repro.analysis.bounds` computes the paper's closed-form bounds
+from protocol/topology parameters; :mod:`repro.analysis.compare` builds
+the paper-vs-measured rows that EXPERIMENTS.md records.
+"""
+
+from repro.analysis.bounds import TheoremBounds, bounds_for
+from repro.analysis.compare import bound_check_row
+from repro.analysis.retransmission import RetransmissionModel
+
+__all__ = ["TheoremBounds", "bounds_for", "bound_check_row",
+           "RetransmissionModel"]

@@ -1,0 +1,159 @@
+"""Theorem 5.1's closed-form bounds, computed from run parameters.
+
+The theorem (paper §5), for a top ring of ``r ≥ 2`` nodes and ``s ≤ r``
+sources each sending λ messages per time unit, **without** token
+processing overheads and retransmission:
+
+* throughput of the ordered protocol equals the unordered protocol's:
+  ``s·λ`` messages per time unit;
+* every message is ordered, forwarded, and delivered within
+  ``max(T_order, T_transmit) + τ + T_deliver``;
+* buffer sizes suffice at
+  ``|WQ| ≤ s·λ·(max(T_order, T_transmit) + τ)`` and
+  ``|MQ| ≤ s·λ·T_order``.
+
+``T_order`` is the maximal token round-trip, ``T_transmit`` the maximal
+message round-trip along the top ring, and ``T_deliver`` the maximal
+time for an ordered message to be transmitted and tagged delivered to
+the children.  In the simulated substrate these resolve to:
+
+* per-hop ring time = link latency (+ max jitter) and, for the token,
+  + the configured hold time;
+* ``T_deliver`` = (tree depth below the top ring) × per-hop delivery
+  time, including the wireless hop and one ack (delivery is "tagged
+  delivered" on acknowledgement).
+
+The bound helpers deliberately use *worst-case* per-hop values (latency
+plus full jitter) because the theorem is stated as a maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProtocolConfig
+from repro.net.link import LinkSpec
+
+
+@dataclass(frozen=True)
+class TheoremBounds:
+    """The three quantities Theorem 5.1 bounds, in ms / messages."""
+
+    t_order: float
+    t_transmit: float
+    t_deliver: float
+    tau: float
+    #: Aggregate source rate in messages per millisecond (s·λ / 1000).
+    rate_per_ms: float
+
+    @property
+    def latency_bound_ms(self) -> float:
+        """The paper's bound: max(T_order, T_transmit) + τ + T_deliver."""
+        return max(self.t_order, self.t_transmit) + self.tau + self.t_deliver
+
+    @property
+    def ordering_bound_ms(self) -> float:
+        """The paper's ordering term: max(T_order, T_transmit) + τ."""
+        return max(self.t_order, self.t_transmit) + self.tau
+
+    # -- corrected variants (reproduction finding) ---------------------
+    #
+    # Theorem 5.1 treats "ordered within T_order" as if the assignment
+    # were simultaneously visible at every ring node.  In the actual
+    # protocol a message waits up to one rotation for the token to reach
+    # its corresponding node (≤ T_order), and the resulting WTSNP entry
+    # then needs up to one MORE rotation to reach every other node's
+    # snapshot.  The measured worst case therefore tracks
+    # max(T_order, T_transmit) + T_order + τ (+ T_deliver), which our
+    # experiments confirm; the paper's stated bound is mildly optimistic
+    # for larger rings (see EXPERIMENTS.md, E2).
+
+    @property
+    def ordering_bound_corrected_ms(self) -> float:
+        """Corrected ordering term: max(T_order, T_transmit) + T_order + τ."""
+        return max(self.t_order, self.t_transmit) + self.t_order + self.tau
+
+    @property
+    def latency_bound_corrected_ms(self) -> float:
+        """Corrected latency bound (adds the second token rotation)."""
+        return self.ordering_bound_corrected_ms + self.t_deliver
+
+    @property
+    def wq_bound_corrected_msgs(self) -> float:
+        """WQ bound with the corrected ordering residency."""
+        return self.rate_per_ms * self.ordering_bound_corrected_ms
+
+    @property
+    def wq_bound_msgs(self) -> float:
+        """s·λ·(max(T_order, T_transmit) + τ)."""
+        return self.rate_per_ms * self.ordering_bound_ms
+
+    @property
+    def mq_bound_msgs(self) -> float:
+        """s·λ·T_order."""
+        return self.rate_per_ms * self.t_order
+
+    @property
+    def throughput_msgs_per_sec(self) -> float:
+        """The theorem's throughput: s·λ (per second)."""
+        return self.rate_per_ms * 1000.0
+
+
+def ring_hop_ms(spec: LinkSpec) -> float:
+    """Worst-case one-hop ring time for a link spec."""
+    return spec.latency + spec.jitter
+
+
+def bounds_for(
+    cfg: ProtocolConfig,
+    ring_size: int,
+    n_sources: int,
+    rate_per_sec: float,
+    wired: LinkSpec,
+    wireless: LinkSpec,
+    tree_depth: int = 3,
+    lower_ring_size: int = 1,
+    include_source_hop: bool = True,
+) -> TheoremBounds:
+    """Assemble Theorem 5.1 bounds for a concrete configuration.
+
+    Parameters
+    ----------
+    ring_size:
+        r, the top-ring size.
+    n_sources, rate_per_sec:
+        s and λ (per source, messages/second).
+    tree_depth:
+        Hops from a top-ring node down to an MH (BR→AG, AG→AP, AP→MH
+        = 3 in the standard hierarchy).
+    lower_ring_size:
+        Largest non-top ring; ring forwarding adds (size-1) hops to
+        delivery reach in the worst case.
+    include_source_hop:
+        The paper's clock starts when the corresponding node receives
+        the message; this repo measures from source emission, one wired
+        hop earlier.  True (default) folds that hop into T_deliver so
+        measured latencies compare against a like-for-like bound.
+    """
+    if ring_size < 1:
+        raise ValueError("ring_size must be >= 1")
+    hop = ring_hop_ms(wired)
+    t_order = ring_size * (cfg.token_hold_time + hop)
+    t_transmit = ring_size * hop
+    # Delivery: down-tree hops (wired) + wireless hop, each with an ack
+    # on the way back (delivered = acknowledged), plus worst-case ring
+    # forwarding within the lower ring before the last member delivers.
+    wired_down = (tree_depth - 1) * 2 * hop
+    wireless_down = 2 * (wireless.latency + wireless.jitter)
+    ring_extra = max(0, lower_ring_size - 1) * hop
+    t_deliver = wired_down + wireless_down + ring_extra
+    if include_source_hop:
+        t_deliver += hop
+    rate_per_ms = n_sources * rate_per_sec / 1000.0
+    return TheoremBounds(
+        t_order=t_order,
+        t_transmit=t_transmit,
+        t_deliver=t_deliver,
+        tau=cfg.tau,
+        rate_per_ms=rate_per_ms,
+    )

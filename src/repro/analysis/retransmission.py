@@ -1,0 +1,150 @@
+"""Retransmission analysis — the paper's stated future work.
+
+Paper §5 closes with: "retransmission will occur in unreliable
+communications environment ... buffer sizes of WQ and MQ of each node
+may be larger and message latency may be larger to accommodate
+retransmission.  **We will do more analysis in our future work
+regarding retransmission.**"
+
+This module supplies that analysis for the implemented transport
+(per-link stop-and-go retransmission with timeout ``rto`` and at most
+``k`` retries over an i.i.d. loss channel with loss probability ``p``),
+and the benchmark ``benchmarks/test_x1_retransmission_analysis.py``
+validates it empirically.
+
+Model
+-----
+One transmission succeeds with probability ``q = 1 - p``.  With at most
+``k`` retries (``k+1`` attempts total):
+
+* **delivery probability**  ``P_deliver = 1 - p^(k+1)`` — only the
+  *data* transmissions matter (no data ⇒ no ack ⇒ every attempt is
+  made, so non-delivery means all k+1 data copies were lost);
+* **expected attempts**: the sender stops on a successful *round trip*
+  (data AND ack through, probability ``s = (1-p)·(1-p_ack)``), so
+  ``E[A] = (1 - (1-s)^(k+1)) / s`` — lost acks cause retransmissions of
+  already-delivered data, which the duplicate filter absorbs;
+* **expected extra latency** for a *delivered* message: the message is
+  delivered on attempt ``i`` (0-based) with probability
+  ``p^i q / P_deliver`` and then waited ``i·rto`` beyond the one-way
+  time, so ``E[extra] = rto · E[i | delivered]``;
+* **tail latency** for a delivered message: at most ``k·rto`` beyond
+  the lossless bound — Theorem 5.1's latency bound therefore inflates
+  additively per lossy hop, not multiplicatively;
+* **buffer inflation**: a sender-side slot stays occupied for the full
+  retransmission conversation, so expected occupancy multiplies by
+  ``(1 + E[extra]/T_hold)`` where ``T_hold`` is the lossless holding
+  time of that slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetransmissionModel:
+    """Closed-form predictions for one lossy reliable hop."""
+
+    loss_prob: float
+    rto: float
+    max_retries: int
+    #: Ack-direction loss probability; None ⇒ same as the data direction
+    #: (symmetric link, the repo's default).
+    ack_loss_prob: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+        if self.ack_loss_prob is not None and not 0.0 <= self.ack_loss_prob < 1.0:
+            raise ValueError("ack_loss_prob must be in [0, 1)")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def p_ack(self) -> float:
+        """Effective ack-direction loss probability."""
+        return self.loss_prob if self.ack_loss_prob is None else self.ack_loss_prob
+
+    @property
+    def round_trip_success(self) -> float:
+        """P(one attempt completes data + ack) = (1-p)(1-p_ack)."""
+        return (1.0 - self.loss_prob) * (1.0 - self.p_ack)
+
+    @property
+    def delivery_probability(self) -> float:
+        """P(message delivered within k+1 attempts) = 1 - p^(k+1)."""
+        return 1.0 - self.loss_prob ** (self.max_retries + 1)
+
+    @property
+    def expected_attempts(self) -> float:
+        """Unconditional mean transmissions per message.
+
+        Attempts stop on the first acked round trip; lost acks trigger
+        retransmissions of already-delivered data.
+        """
+        s = self.round_trip_success
+        k = self.max_retries
+        return (1.0 - (1.0 - s) ** (k + 1)) / s
+
+    @property
+    def expected_retransmissions(self) -> float:
+        """Mean retransmissions (attempts beyond the first)."""
+        return self.expected_attempts - 1.0
+
+    def expected_attempt_index_given_delivered(self) -> float:
+        """E[i | delivered], i = 0-based index of the successful attempt."""
+        p, k = self.loss_prob, self.max_retries
+        if p == 0.0:
+            return 0.0
+        q = 1.0 - p
+        num = sum(i * (p ** i) * q for i in range(k + 1))
+        return num / self.delivery_probability
+
+    @property
+    def expected_extra_latency(self) -> float:
+        """Mean added latency (ms) for a delivered message."""
+        return self.rto * self.expected_attempt_index_given_delivered()
+
+    @property
+    def max_extra_latency(self) -> float:
+        """Worst added latency for a delivered message: k·rto."""
+        return self.max_retries * self.rto
+
+    # ------------------------------------------------------------------
+    def end_to_end_delivery_probability(self, hops: int) -> float:
+        """Delivery probability across ``hops`` independent lossy hops
+        *without* higher-tier recovery (a lower bound for the protocol,
+        whose gap-recovery layer re-serves channel give-ups)."""
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        return self.delivery_probability ** hops
+
+    def inflated_latency_bound(self, lossless_bound: float,
+                               lossy_hops: int) -> float:
+        """Theorem 5.1's bound with worst-case retransmission added.
+
+        Additive inflation: each lossy hop can add at most k·rto for a
+        message that is still delivered.
+        """
+        return lossless_bound + lossy_hops * self.max_extra_latency
+
+    def buffer_inflation_factor(self, lossless_hold_ms: float) -> float:
+        """Multiplier on expected buffer occupancy at a lossy sender."""
+        if lossless_hold_ms <= 0:
+            raise ValueError("lossless_hold_ms must be positive")
+        return 1.0 + self.expected_extra_latency / lossless_hold_ms
+
+    def rows(self) -> dict:
+        """A report row for the X1 benchmark table."""
+        return {
+            "p": self.loss_prob,
+            "retries": self.max_retries,
+            "P(deliver)": round(self.delivery_probability, 6),
+            "E[attempts]": round(self.expected_attempts, 4),
+            "E[extra] (ms)": round(self.expected_extra_latency, 3),
+            "max extra (ms)": round(self.max_extra_latency, 1),
+        }

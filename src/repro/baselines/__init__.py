@@ -1,0 +1,39 @@
+"""Comparator protocols, all on the same simulator/fabric substrate.
+
+The paper positions RingNet against several prior schemes; its own
+comparisons are qualitative, so this package implements executable
+versions to make them measurable:
+
+* :mod:`repro.baselines.unordered` — RingNet **without** ordering
+  (paper Remark 3): same hierarchy and reliability, no token, deliver on
+  arrival.  The Theorem 5.1 throughput-parity and the Remark 3 latency
+  ablation run against this.
+* :mod:`repro.baselines.single_ring` — the one-big-logical-ring reliable
+  multicast of Nikolaidis & Harms [16]: every base station in a single
+  token ring.  The paper's criticism — "large latency and large buffers
+  when the ring becomes large" — is experiment E6.
+* :mod:`repro.baselines.hostview` — the two-tier Host-View scheme of
+  Acharya & Badrinath [1]: senders unicast to the set of MSSs hosting
+  members; every significant move triggers a global view update.
+* :mod:`repro.baselines.relm` — the three-tier RelM scheme of Brown &
+  Singh [6]: Supervisor Hosts buffer and route for regions of MSSs.
+* :mod:`repro.baselines.sequencer` — a classic central-sequencer total
+  order, as an ordering-latency ablation for the token approach.
+"""
+
+from repro.baselines.common import BaselineMH, PlainDeliver
+from repro.baselines.unordered import UnorderedRingNet
+from repro.baselines.single_ring import SingleRingMulticast
+from repro.baselines.hostview import HostViewProtocol
+from repro.baselines.relm import RelMProtocol
+from repro.baselines.sequencer import SequencerMulticast
+
+__all__ = [
+    "BaselineMH",
+    "PlainDeliver",
+    "UnorderedRingNet",
+    "SingleRingMulticast",
+    "HostViewProtocol",
+    "RelMProtocol",
+    "SequencerMulticast",
+]

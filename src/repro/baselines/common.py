@@ -1,0 +1,187 @@
+"""Shared pieces for the baseline protocols.
+
+Baselines reuse the RingNet trace vocabulary (``mh.deliver`` with
+``latency``, ``mh.handoff``, ``source.send``) so every metrics collector
+works unchanged across protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.net.address import NodeId
+from repro.net.fabric import Fabric
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.net.transport import ReliableChannel
+
+
+class PlainDeliver(Message):
+    """A data message as delivered by a baseline protocol.
+
+    ``seq`` is whatever ordering handle the baseline has (a global
+    sequence for ordered baselines, a per-source sequence otherwise) —
+    it feeds the ``gseq`` trace field.
+    """
+
+    __slots__ = ("source", "local_seq", "seq", "payload", "created_at")
+
+    def __init__(self, source: NodeId, local_seq: int, seq: int,
+                 payload: Any, created_at: float):
+        self.source = source
+        self.local_seq = local_seq
+        self.seq = seq
+        self.payload = payload
+        self.created_at = created_at
+
+
+class Register(Message):
+    """MH → serving node: start delivering to me."""
+
+    size_bits = 128
+
+    __slots__ = ("mh",)
+
+    def __init__(self, mh: NodeId):
+        self.mh = mh
+
+
+class Deregister(Message):
+    """MH → serving node: stop delivering to me."""
+
+    size_bits = 128
+
+    __slots__ = ("mh",)
+
+    def __init__(self, mh: NodeId):
+        self.mh = mh
+
+
+class BaselineMH(NetNode):
+    """A mobile host for baseline protocols: deliver-on-arrival.
+
+    Duplicate suppression is by (source, local_seq); ordered baselines
+    that need in-sequence delivery layer it on top (see the sequencer).
+    """
+
+    def __init__(self, fabric: Fabric, guid: NodeId, rto: float = 30.0,
+                 max_retries: int = 5):
+        NetNode.__init__(self, fabric, guid)
+        self.guid = guid
+        self.ap: Optional[NodeId] = None
+        self.is_member = False
+        self.chan = ReliableChannel(self, rto=rto, max_retries=max_retries)
+        self.app_log: List[Tuple[int, Any, float]] = []
+        self._seen: set = set()
+        self.handoffs = 0
+
+    # ------------------------------------------------------------------
+    def join(self, ap: NodeId) -> None:
+        """Attach and register at ``ap``."""
+        self.ap = ap
+        self.is_member = True
+        self.chan.send(ap, Register(self.guid))
+        self.sim.trace.emit(self.now, "mh.join", mh=self.guid, ap=ap)
+
+    def handoff_to(self, new_ap: NodeId) -> None:
+        """Deregister from the old serving node, register at the new."""
+        old = self.ap
+        if old is not None and old != new_ap:
+            self.chan.send(old, Deregister(self.guid))
+            self.chan.cancel_all(old)
+        self.ap = new_ap
+        self.handoffs += 1
+        self.chan.send(new_ap, Register(self.guid))
+        self.sim.trace.emit(self.now, "mh.handoff", mh=self.guid,
+                            old=old, new=new_ap, front=-1)
+
+    def leave(self) -> None:
+        """Leave the group."""
+        if self.ap is not None:
+            self.chan.send(self.ap, Deregister(self.guid))
+        self.is_member = False
+        self.sim.trace.emit(self.now, "mh.leave", mh=self.guid, ap=self.ap)
+        self.ap = None
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message) -> None:
+        payload = self.chan.accept(msg)
+        if payload is None:
+            return
+        if isinstance(payload, PlainDeliver):
+            self._handle_deliver(payload)
+
+    def _handle_deliver(self, msg: PlainDeliver) -> None:
+        if not self.is_member:
+            return
+        key = (msg.source, msg.local_seq)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        latency = self.now - msg.created_at
+        self.app_log.append((msg.seq, msg.payload, latency))
+        self.sim.trace.emit(
+            self.now, "mh.deliver", mh=self.guid, gseq=msg.seq,
+            latency=latency, source=msg.source, local_seq=msg.local_seq,
+            created_at=msg.created_at,
+        )
+
+    @property
+    def delivered_count(self) -> int:
+        """Messages delivered to the application."""
+        return len(self.app_log)
+
+
+class BaselineSource(NetNode):
+    """CBR/Poisson source for baselines (same cadence as the RingNet one)."""
+
+    def __init__(self, fabric: Fabric, source_id: NodeId, sink: NodeId,
+                 rate_per_sec: float = 10.0, pattern: str = "cbr",
+                 rto: float = 25.0, max_retries: int = 5):
+        if rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        NetNode.__init__(self, fabric, source_id)
+        self.sink = sink
+        self.rate_per_sec = rate_per_sec
+        self.pattern = pattern
+        self.chan = ReliableChannel(self, rto=rto, max_retries=max_retries)
+        self.local_seq = 0
+        self.sent = 0
+        self._timer = self.timer(self._emit)
+        self._running = False
+
+    @property
+    def interval_ms(self) -> float:
+        """Mean inter-message gap (ms)."""
+        return 1000.0 / self.rate_per_sec
+
+    def _next_gap(self) -> float:
+        if self.pattern == "cbr":
+            return self.interval_ms
+        return float(self.sim.rng(f"source.{self.id}").exponential(self.interval_ms))
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin emitting."""
+        if not self._running:
+            self._running = True
+            self._timer.start(delay + self._next_gap())
+
+    def stop(self) -> None:
+        """Stop emitting."""
+        self._running = False
+        self._timer.stop()
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        msg = PlainDeliver(self.id, self.local_seq, self.local_seq,
+                           (self.id, self.local_seq), self.now)
+        self.chan.send(self.sink, msg)
+        self.sim.trace.emit(self.now, "source.send", source=self.id,
+                            local_seq=self.local_seq, corresponding=self.sink)
+        self.local_seq += 1
+        self.sent += 1
+        self._timer.start(self._next_gap())
+
+    def on_message(self, msg: Message) -> None:
+        self.chan.accept(msg)

@@ -1,0 +1,264 @@
+"""The two-tier Host-View scheme of Acharya & Badrinath [1].
+
+"The Host-View consists of a set of MSSs, which represents the aggregate
+location information of the group ... in order to deliver a multicast
+message to a group of MHs, it suffices to send a copy to only those MSSs
+in the group's Host-View."  The known weaknesses the paper cites — and
+experiment E8 measures — are:
+
+* the **sender** buffers every message until every MSS in the view acks
+  it, and each **MSS** buffers until its local members ack, so buffer
+  usage grows with the view size;
+* "the global updates necessary with every significant move make it
+  inefficient and may cause lengthy breaks in service": a handoff to an
+  MSS outside the view blocks delivery to that MH until a *global* view
+  update (one control message to every view member plus an update
+  latency) completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.baselines.common import (
+    BaselineMH,
+    Deregister,
+    PlainDeliver,
+    Register,
+)
+from repro.net.address import NodeId, make_id
+from repro.net.fabric import Fabric
+from repro.net.link import LinkSpec, WIRED, WIRELESS
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.net.transport import ReliableChannel
+from repro.sim.engine import Simulator
+
+
+class ViewJoinRequest(Message):
+    """MSS → sender: add me to the group's Host-View."""
+
+    size_bits = 128
+
+    __slots__ = ("mss",)
+
+    def __init__(self, mss: NodeId):
+        self.mss = mss
+
+
+class ViewUpdate(Message):
+    """Sender → every view MSS: the Host-View changed (control traffic)."""
+
+    size_bits = 256
+
+    __slots__ = ("view_version",)
+
+    def __init__(self, view_version: int):
+        self.view_version = view_version
+
+
+class HostViewSender(NetNode):
+    """The multicast sender holding the group's Host-View."""
+
+    def __init__(self, fabric: Fabric, node_id: NodeId,
+                 rate_per_sec: float = 10.0, pattern: str = "cbr",
+                 update_latency: float = 100.0,
+                 rto: float = 25.0, max_retries: int = 5):
+        NetNode.__init__(self, fabric, node_id)
+        self.rate_per_sec = rate_per_sec
+        self.pattern = pattern
+        self.update_latency = update_latency
+        self.chan = ReliableChannel(self, rto=rto, max_retries=max_retries,
+                                    on_ack=self._on_ack)
+        self.view: Set[NodeId] = set()
+        self.view_version = 0
+        self.local_seq = 0
+        self.sent = 0
+        self.control_messages = 0
+        #: local_seq -> set of MSSs still owing an ack (the send buffer).
+        self._unacked: Dict[int, Set[NodeId]] = {}
+        self.peak_buffer = 0
+        self._timer = self.timer(self._emit)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self, delay: float = 0.0) -> None:
+        """Begin emitting."""
+        if not self._running:
+            self._running = True
+            self._timer.start(delay + self._next_gap())
+
+    def stop(self) -> None:
+        """Stop emitting."""
+        self._running = False
+        self._timer.stop()
+
+    def _next_gap(self) -> float:
+        if self.pattern == "cbr":
+            return 1000.0 / self.rate_per_sec
+        return float(self.sim.rng(f"source.{self.id}")
+                     .exponential(1000.0 / self.rate_per_sec))
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        seq = self.local_seq
+        msg_view = set(self.view)
+        if msg_view:
+            self._unacked[seq] = set(msg_view)
+            for mss in msg_view:
+                self.chan.send(mss, PlainDeliver(self.id, seq, seq,
+                                                 (self.id, seq), self.now))
+        self.sim.trace.emit(self.now, "source.send", source=self.id,
+                            local_seq=seq, corresponding="<view>")
+        self.local_seq += 1
+        self.sent += 1
+        self.peak_buffer = max(self.peak_buffer, len(self._unacked))
+        self._timer.start(self._next_gap())
+
+    def _on_ack(self, dst: NodeId, payload: Message) -> None:
+        if isinstance(payload, PlainDeliver):
+            owing = self._unacked.get(payload.local_seq)
+            if owing is not None:
+                owing.discard(dst)
+                if not owing:
+                    del self._unacked[payload.local_seq]
+
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message) -> None:
+        payload = self.chan.accept(msg)
+        if payload is None:
+            return
+        if isinstance(payload, ViewJoinRequest):
+            self._view_change(add=payload.mss)
+
+    def _view_change(self, add: Optional[NodeId] = None,
+                     remove: Optional[NodeId] = None) -> None:
+        """A 'significant move': global update to every view member."""
+        self.view_version += 1
+        version = self.view_version
+
+        def apply() -> None:
+            if add is not None:
+                self.view.add(add)
+            if remove is not None:
+                self.view.discard(remove)
+            # Global notification: one control message per view member.
+            for mss in self.view:
+                self.chan.send(mss, ViewUpdate(version))
+                self.control_messages += 1
+
+        self.sim.schedule(self.update_latency, apply)
+
+
+class HostViewMSS(NetNode):
+    """A Mobile Support Station: buffers for, and serves, local members."""
+
+    def __init__(self, fabric: Fabric, node_id: NodeId, sender: NodeId,
+                 rto: float = 25.0, max_retries: int = 5):
+        NetNode.__init__(self, fabric, node_id)
+        self.sender = sender
+        self.chan = ReliableChannel(self, rto=rto, max_retries=max_retries,
+                                    on_ack=self._on_ack)
+        self.members: Set[NodeId] = set()
+        self.in_view = False
+        #: (local_seq) -> members still owing an ack (the MSS buffer).
+        self._unacked: Dict[int, Set[NodeId]] = {}
+        self.peak_buffer = 0
+
+    def on_message(self, msg: Message) -> None:
+        payload = self.chan.accept(msg)
+        if payload is None:
+            return
+        if isinstance(payload, PlainDeliver):
+            if self.members:
+                self._unacked[payload.local_seq] = set(self.members)
+                for mh in self.members:
+                    self.chan.send(mh, PlainDeliver(
+                        payload.source, payload.local_seq, payload.seq,
+                        payload.payload, payload.created_at))
+                self.peak_buffer = max(self.peak_buffer, len(self._unacked))
+        elif isinstance(payload, Register):
+            self.members.add(payload.mh)
+            if not self.in_view:
+                # Ask the sender for a (global) view update.
+                self.chan.send(self.sender, ViewJoinRequest(self.id))
+        elif isinstance(payload, Deregister):
+            self.members.discard(payload.mh)
+            for owing in self._unacked.values():
+                owing.discard(payload.mh)
+            self._gc()
+        elif isinstance(payload, ViewUpdate):
+            self.in_view = True
+
+    def _on_ack(self, dst: NodeId, payload: Message) -> None:
+        if isinstance(payload, PlainDeliver):
+            owing = self._unacked.get(payload.local_seq)
+            if owing is not None:
+                owing.discard(dst)
+            self._gc()
+
+    def _gc(self) -> None:
+        done = [s for s, owing in self._unacked.items() if not owing]
+        for s in done:
+            del self._unacked[s]
+
+
+class HostViewProtocol:
+    """Facade: sender + MSSs + MHs, mirroring the RingNet surface."""
+
+    def __init__(self, sim: Simulator, n_mss: int,
+                 rate_per_sec: float = 10.0, update_latency: float = 100.0,
+                 wired: LinkSpec = WIRED, wireless: LinkSpec = WIRELESS,
+                 mss_max_retries: int = 5):
+        self.sim = sim
+        self.fabric = Fabric(sim)
+        self.wireless = wireless
+        self.sender = HostViewSender(self.fabric, "hv-sender:0",
+                                     rate_per_sec=rate_per_sec,
+                                     update_latency=update_latency)
+        self.msss: Dict[NodeId, HostViewMSS] = {}
+        for i in range(n_mss):
+            mss_id = make_id("mss", i)
+            # Host-View semantics: the MSS buffers a message until every
+            # local member acknowledged it — patient retransmission
+            # (large max_retries) models that per-MSS buffering burden.
+            self.msss[mss_id] = HostViewMSS(self.fabric, mss_id,
+                                            self.sender.id,
+                                            max_retries=mss_max_retries)
+            self.fabric.connect(self.sender.id, mss_id, wired)
+        self.mobile_hosts: Dict[NodeId, BaselineMH] = {}
+
+    def start(self) -> None:
+        """Present for API parity with RingNet."""
+
+    def add_mobile_host(self, mh_id: NodeId, mss_id: NodeId,
+                        join: bool = True) -> BaselineMH:
+        """Create an MH attached at an MSS."""
+        mh = BaselineMH(self.fabric, mh_id)
+        self.fabric.connect(mh_id, mss_id, self.wireless)
+        self.mobile_hosts[mh_id] = mh
+        if join:
+            mh.join(mss_id)
+        return mh
+
+    def handoff(self, mh_id: NodeId, new_mss: NodeId) -> None:
+        """Move an MH to a new MSS (a 'significant move')."""
+        mh = self.mobile_hosts[mh_id]
+        if self.fabric.link(mh_id, new_mss) is None:
+            self.fabric.connect(mh_id, new_mss, self.wireless)
+        mh.handoff_to(new_mss)
+
+    def member_hosts(self) -> List[BaselineMH]:
+        """All current member MHs."""
+        return [m for m in self.mobile_hosts.values() if m.is_member]
+
+    def peak_buffers(self) -> dict:
+        """Sender + per-MSS peak buffered messages (the E8 metric)."""
+        mss_peaks = [m.peak_buffer for m in self.msss.values()]
+        return {
+            "sender_peak": self.sender.peak_buffer,
+            "mss_peak_max": max(mss_peaks, default=0),
+            "total_peak": self.sender.peak_buffer + sum(mss_peaks),
+            "control_messages": self.sender.control_messages,
+        }

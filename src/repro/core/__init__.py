@@ -1,0 +1,54 @@
+"""The RingNet reliable totally-ordered multicast protocol (paper §4).
+
+This package is the paper's primary contribution.  It is organized to
+mirror §4's structure:
+
+* :mod:`repro.core.datastructures` — the MH/NE data structures of §4.1
+  (``MessageQueue``, ``WorkingQueue``, ``WorkingTable``).
+* :mod:`repro.core.token` — the ``OrderingToken`` and its ``WTSNP``
+  (working table of sequence-number pairs).
+* :mod:`repro.core.ordering` — the Message-Ordering and Order-Assignment
+  algorithms (§4.2.1), run by top-ring NEs.
+* :mod:`repro.core.forwarding` — the Message-Forwarding algorithm
+  (§4.2.2), ring transmission of raw (top ring) and ordered (other
+  rings) messages.
+* :mod:`repro.core.delivering` — the Message-Delivering algorithm
+  (§4.2.3), parent→child and AP→MH delivery with per-child WT tracking
+  and best-effort loss tombstoning.
+* :mod:`repro.core.token_recovery` — Token-Regeneration and
+  Multiple-Token resolution (§4.2.1).
+* :mod:`repro.core.mma` — Multicast Mobility Agent tables and the
+  multicast-based smooth-handoff path reservation (§3).
+* :mod:`repro.core.ne` — the network-entity node (BR/AG/AP) composing
+  the algorithm mixins; :mod:`repro.core.mobile_host` — the MH endpoint;
+  :mod:`repro.core.source` — multicast senders.
+* :mod:`repro.core.protocol` — the :class:`RingNet` facade that builds
+  and runs a complete protocol instance over a hierarchy.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.datastructures import (
+    BufferedMessage,
+    MessageQueue,
+    WorkingQueue,
+    WorkingTable,
+)
+from repro.core.token import OrderingToken, WTSNPEntry
+from repro.core.ne import NetworkEntity
+from repro.core.mobile_host import MobileHost
+from repro.core.source import MulticastSource
+from repro.core.protocol import RingNet
+
+__all__ = [
+    "ProtocolConfig",
+    "BufferedMessage",
+    "MessageQueue",
+    "WorkingQueue",
+    "WorkingTable",
+    "OrderingToken",
+    "WTSNPEntry",
+    "NetworkEntity",
+    "MobileHost",
+    "MulticastSource",
+    "RingNet",
+]

@@ -1,0 +1,90 @@
+"""Protocol configuration.
+
+All tunables of §4 and §5 live here so experiments can sweep them:
+
+* ``tau`` — the Order-Assignment timer cycle τ (§4.2.1 / Theorem 5.1).
+* ``token_hold_time`` — processing time at each token holder; together
+  with link latency this determines ``T_order`` (token round-trip).
+* ``delivery_window`` — outstanding unacked messages per child; the
+  paper's "full speed" delivery corresponds to a window large enough to
+  never block on acks.
+* ``mq_retention`` — how many already-delivered messages an NE keeps
+  behind ``ValidFront`` for handoff catch-up (§4.1's ValidFront is
+  "reserved for APs/AGs/BRs only").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables for one RingNet protocol instance.
+
+    Time values use the repo-wide unit (milliseconds).
+    """
+
+    #: Group identity (paper: GID; e.g. an IP multicast class-D address).
+    gid: str = "224.0.1.1"
+
+    #: Order-Assignment timer cycle τ.
+    tau: float = 5.0
+
+    #: Processing time a token holder spends before passing the token.
+    token_hold_time: float = 0.5
+
+    #: Retransmission timeout for all reliable channels.
+    rto: float = 25.0
+
+    #: Retransmissions before a message is declared really lost.
+    max_retries: int = 5
+
+    #: Max unacked ordered messages outstanding per child/MH.
+    delivery_window: int = 16
+
+    #: MQ capacity (MaxNo).  0 means unbounded (we then only *measure*
+    #: occupancy; Theorem 5.1 predicts what a bound could safely be).
+    mq_capacity: int = 0
+
+    #: WQ per-source capacity.  0 means unbounded, as above.
+    wq_capacity: int = 0
+
+    #: Delivered messages retained behind ValidFront for handoff catch-up.
+    mq_retention: int = 256
+
+    #: WTSNP entry lifetime in token hops (pruned afterwards).  Must be at
+    #: least 2× the top-ring size so every node sees each entry in one of
+    #: its two retained snapshots; the builder enforces this at runtime.
+    wtsnp_ttl_hops: int = 64
+
+    #: Enable the MMA path-reservation smooth-handoff optimisation (§3).
+    smooth_handoff: bool = True
+
+    #: When True (Remark 2's "manually and statically configure" mode),
+    #: every AP is provisioned as a delivery child of its AG at build
+    #: time and is always receiving the group.  When False (dynamic
+    #: group mode, §3's path building), an AP only joins the delivery
+    #: tree when a member registers behind it or a smooth-handoff
+    #: reservation warms it — the regime where reservations matter.
+    static_ap_paths: bool = True
+
+    #: Wireless delivery retransmission timeout (AP→MH channels).
+    wireless_rto: float = 30.0
+
+    #: How long a sequence gap may persist before local-scope recovery
+    #: (GapRequest to parent / previous node) kicks in.
+    gap_timeout: float = 60.0
+
+    #: How long an AP path reservation stays warm with no attached member.
+    reservation_ttl: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.token_hold_time < 0:
+            raise ValueError("token_hold_time must be >= 0")
+        if self.delivery_window < 1:
+            raise ValueError("delivery_window must be >= 1")
+        if self.mq_retention < 0:
+            raise ValueError("mq_retention must be >= 0")

@@ -1,0 +1,161 @@
+"""Message-Delivering (paper §4.2.3).
+
+Moves ordered messages **down** the hierarchy: from each NE's MQ to its
+children (case A: tree links to child NEs — the leaders of lower rings
+and the APs) and from bottom APs to their attached MHs (case B: the
+wireless hop), "even in handoffs".
+
+Mechanics:
+
+* per-child delivery is **in global-sequence order** with a sliding
+  window of unacked messages (``cfg.delivery_window``); the reliable
+  channel's ack feeds the WT (max delivered per child), and its give-up
+  feeds the best-effort rule — a message the channel abandoned is
+  *counted* delivered to that child (the child recovers via local-scope
+  retransmission or tombstones it as really lost);
+* a message becomes ``Delivered`` at this NE once **all** children have
+  it (paper: WT computes "the maximal global sequence number of the
+  message which has been delivered to either all the children nodes ...
+  or all the attached MHs"); the MQ ``Front`` pointer then advances and
+  pruning keeps ``mq_retention`` delivered messages behind ``ValidFront``
+  for handoff catch-up;
+* an NE with **no** children considers every buffered message delivered
+  (nothing to wait for) — this keeps leaf APs with no attached members
+  from buffering forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.address import NodeId, tier_of
+from repro.core.datastructures import BufferedMessage
+from repro.core.messages import DeliverDown, RingOrdered, WirelessDeliver
+
+
+class DeliveringMixin:
+    """Downward delivery behaviour, mixed into NetworkEntity."""
+
+    def _init_delivering(self) -> None:
+        self._next_send: Dict[NodeId, int] = {}
+        self._in_flight: Dict[NodeId, int] = {}
+        self.delivered_to_children = 0
+        self.delivery_give_ups = 0
+
+    # ------------------------------------------------------------------
+    # Child registry
+    # ------------------------------------------------------------------
+    def register_child(self, child: NodeId, from_seq: Optional[int] = None) -> None:
+        """Start delivering to ``child`` for messages after ``from_seq``.
+
+        ``from_seq=None`` means "from my current front" — the natural
+        baseline for a freshly attached child or reserved path.
+        """
+        base = self.mq.front if from_seq is None else from_seq
+        self.wt.add_child(child, base)
+        self._next_send[child] = base + 1
+        self._in_flight[child] = 0
+        self.try_deliver()
+
+    def unregister_child(self, child: NodeId) -> None:
+        """Stop delivering to ``child`` (leave, handoff away, failure)."""
+        self.wt.remove_child(child)
+        self._next_send.pop(child, None)
+        self._in_flight.pop(child, None)
+        self.chan.cancel_all(child)
+        self._after_delivery_progress()
+
+    def has_child(self, child: NodeId) -> bool:
+        """Whether ``child`` is currently registered for delivery."""
+        return child in self.wt
+
+    # ------------------------------------------------------------------
+    # The delivery loop
+    # ------------------------------------------------------------------
+    def try_deliver(self) -> None:
+        """Push in-order messages to every child up to the window limit."""
+        window = self.cfg.delivery_window
+        for child in self.wt.children:
+            in_flight = self._in_flight.get(child, 0)
+            while in_flight < window:
+                seq = self._next_send[child]
+                bm = self.mq.get(seq)
+                if bm is None:
+                    if seq < self.mq.valid_front:
+                        # Unserveable forever (pruned / before this NE's
+                        # time): count it delivered and let the child's
+                        # gap machinery tombstone it.
+                        self.wt.record_delivered(child, seq)
+                        self._next_send[child] = seq + 1
+                        continue
+                    break  # not yet ordered/received here, or a hole
+                if bm.really_lost:
+                    # Nothing to send; the loss tombstone counts as
+                    # delivered for this child too.
+                    self.wt.record_delivered(child, seq)
+                    self._next_send[child] = seq + 1
+                    continue
+                self.chan.send(child, self._wrap_for(child, bm))
+                in_flight += 1
+                self._in_flight[child] = in_flight
+                self._next_send[child] = seq + 1
+        self._after_delivery_progress()
+
+    def _wrap_for(self, child: NodeId, bm: BufferedMessage) -> RingOrdered:
+        cls = WirelessDeliver if tier_of(child) == "mh" else DeliverDown
+        return cls(
+            gid=self.cfg.gid,
+            global_seq=bm.global_seq,
+            ordering_node=bm.ordering_node,
+            source=bm.source,
+            local_seq=bm.local_seq,
+            payload=bm.payload,
+            created_at=bm.created_at,
+        )
+
+    # ------------------------------------------------------------------
+    # Channel callbacks (wired by NetworkEntity)
+    # ------------------------------------------------------------------
+    def _delivery_acked(self, child: NodeId, msg: RingOrdered) -> None:
+        if child in self.wt:
+            self.wt.record_delivered(child, msg.global_seq)
+            self._in_flight[child] = max(0, self._in_flight.get(child, 1) - 1)
+            self.delivered_to_children += 1
+        self.try_deliver()
+
+    def _delivery_gave_up(self, child: NodeId, msg: RingOrdered) -> None:
+        # Best-effort: count as delivered; the child's own gap recovery
+        # (or loss tombstoning) takes it from here.
+        self.delivery_give_ups += 1
+        self.sim.trace.emit(self.now, "deliver.give_up", node=self.id,
+                            child=child, gseq=msg.global_seq)
+        if child in self.wt:
+            self.wt.record_delivered(child, msg.global_seq)
+            self._in_flight[child] = max(0, self._in_flight.get(child, 1) - 1)
+        self.try_deliver()
+
+    # ------------------------------------------------------------------
+    # Front advancement + pruning
+    # ------------------------------------------------------------------
+    def _after_delivery_progress(self) -> None:
+        if len(self.wt) == 0:
+            # No children: everything buffered is trivially delivered.
+            horizon = self.mq.rear
+        else:
+            m = self.wt.min_delivered_across()
+            horizon = m if m is not None else self.mq.front
+        advanced = False
+        seq = self.mq.front + 1
+        while seq <= horizon:
+            bm = self.mq.get(seq)
+            if bm is None:
+                break  # hole: gap recovery will fill or tombstone it
+            if not bm.delivered:
+                self.mq.mark_delivered(seq, self.now)
+                self.sim.trace.emit(self.now, "ne.delivered", node=self.id,
+                                    gseq=seq)
+            advanced = True
+            seq += 1
+        if advanced:
+            self.mq.advance_front()
+            self.mq.prune(self.cfg.mq_retention)

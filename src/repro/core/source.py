@@ -1,0 +1,99 @@
+"""Multicast sources (paper §4.2.1 and §5).
+
+A source is a wired sender attached to its *corresponding node* in the
+top logical ring ("we assume at most one source corresponding to each
+node in the top logical ring").  It emits messages with monotonically
+increasing **local sequence numbers** at rate λ messages per second,
+either CBR (exactly 1000/λ ms apart — the workload Theorem 5.1's bounds
+are stated for) or Poisson (exponential gaps with the same mean).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import SourceData
+from repro.net.address import NodeId
+from repro.net.fabric import Fabric
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.net.transport import ReliableChannel
+
+
+class MulticastSource(NetNode):
+    """One message source feeding a top-ring corresponding node."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        source_id: NodeId,
+        cfg: ProtocolConfig,
+        corresponding: NodeId,
+        rate_per_sec: float = 10.0,
+        pattern: str = "cbr",
+        payload_factory: Optional[Callable[[int], Any]] = None,
+    ):
+        if rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        if pattern not in ("cbr", "poisson"):
+            raise ValueError(f"unknown pattern {pattern!r}")
+        NetNode.__init__(self, fabric, source_id)
+        self.cfg = cfg
+        self.corresponding = corresponding
+        self.rate_per_sec = rate_per_sec
+        self.pattern = pattern
+        self.payload_factory = payload_factory or (lambda i: (source_id, i))
+        self.chan = ReliableChannel(self, rto=cfg.rto,
+                                    max_retries=cfg.max_retries)
+        self.local_seq = 0
+        self.sent = 0
+        self._timer = self.timer(self._emit)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def interval_ms(self) -> float:
+        """Mean inter-message gap in milliseconds."""
+        return 1000.0 / self.rate_per_sec
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin emitting after ``delay`` ms."""
+        if self._running:
+            return
+        self._running = True
+        self._timer.start(delay + self._next_gap())
+
+    def stop(self) -> None:
+        """Stop emitting (already sent messages keep flowing)."""
+        self._running = False
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def _next_gap(self) -> float:
+        if self.pattern == "cbr":
+            return self.interval_ms
+        return float(self.sim.rng(f"source.{self.id}").exponential(self.interval_ms))
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        msg = SourceData(
+            gid=self.cfg.gid,
+            source=self.id,
+            local_seq=self.local_seq,
+            payload=self.payload_factory(self.local_seq),
+            created_at=self.now,
+        )
+        self.chan.send(self.corresponding, msg)
+        self.sim.trace.emit(self.now, "source.send", source=self.id,
+                            local_seq=self.local_seq,
+                            corresponding=self.corresponding)
+        self.local_seq += 1
+        self.sent += 1
+        self._timer.start(self._next_gap())
+
+    def on_message(self, msg: Message) -> None:
+        # Sources only ever receive transport acks.
+        self.chan.accept(msg)

@@ -1,0 +1,137 @@
+"""The OrderingToken and its working table of sequence-number pairs.
+
+Paper §4.1, "Data Structure of Tokens": the token carries the group id,
+``NextGlobalSeqNo``, and the ``WTSNP`` — a table of
+``(SourceNode, MinLocalSeqNo, MaxLocalSeqNo, OrderingNode,
+MinGlobalSeqNo, MaxGlobalSeqNo)`` entries, each recording that a
+contiguous run of one source's local sequence numbers was assigned a
+contiguous run of global sequence numbers.
+
+Entries age out after a bounded number of token hops.  The Order-
+Assignment algorithm only ever consults a node's two retained snapshots
+(New/Old OrderingToken), and a node refreshes its snapshot every full
+rotation, so a TTL of ≥ 2 rotations guarantees no node misses an entry;
+:meth:`OrderingToken.assign` stamps new entries with the configured TTL
+and :meth:`OrderingToken.age` decrements on every hop.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.address import NodeId
+
+
+@dataclass
+class WTSNPEntry:
+    """One ordered run: local seqs [min_local, max_local] of ``source``
+    were assigned global seqs [min_global, max_global] by ``ordering_node``."""
+
+    source: NodeId
+    min_local: int
+    max_local: int
+    ordering_node: NodeId
+    min_global: int
+    max_global: int
+    ttl_hops: int = 64
+
+    def covers(self, ordering_node: NodeId, local_seq: int) -> bool:
+        """Whether this entry orders (ordering_node, local_seq)."""
+        return (
+            self.ordering_node == ordering_node
+            and self.min_local <= local_seq <= self.max_local
+        )
+
+    def global_for(self, local_seq: int) -> int:
+        """Global seq assigned to ``local_seq`` (caller checked covers())."""
+        return self.min_global + (local_seq - self.min_local)
+
+    @property
+    def count(self) -> int:
+        """Number of messages this entry orders."""
+        return self.max_local - self.min_local + 1
+
+
+@dataclass
+class OrderingToken:
+    """The token circulating the top logical ring.
+
+    ``token_id`` distinguishes regenerated tokens for the Multiple-Token
+    rule: ``(epoch, origin)`` where epoch increments at each regeneration.
+    """
+
+    gid: str
+    next_global_seq: int = 0
+    wtsnp: List[WTSNPEntry] = field(default_factory=list)
+    token_id: Tuple[int, NodeId] = (0, "")
+    hops: int = 0
+
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        source: NodeId,
+        ordering_node: NodeId,
+        min_local: int,
+        max_local: int,
+        ttl_hops: int = 64,
+    ) -> WTSNPEntry:
+        """Assign global seqs to local run [min_local, max_local].
+
+        Returns the new WTSNP entry; ``next_global_seq`` advances by the
+        run length.  This is the *only* operation that mints global
+        sequence numbers, which is what makes the order total.
+        """
+        if max_local < min_local:
+            raise ValueError(f"empty run [{min_local}, {max_local}]")
+        n = max_local - min_local + 1
+        entry = WTSNPEntry(
+            source=source,
+            min_local=min_local,
+            max_local=max_local,
+            ordering_node=ordering_node,
+            min_global=self.next_global_seq,
+            max_global=self.next_global_seq + n - 1,
+            ttl_hops=ttl_hops,
+        )
+        self.wtsnp.append(entry)
+        self.next_global_seq += n
+        return entry
+
+    def age(self) -> None:
+        """One token hop: decrement entry TTLs and prune the expired."""
+        self.hops += 1
+        for e in self.wtsnp:
+            e.ttl_hops -= 1
+        if self.wtsnp and self.wtsnp[0].ttl_hops <= 0:
+            self.wtsnp = [e for e in self.wtsnp if e.ttl_hops > 0]
+
+    def lookup(self, ordering_node: NodeId, local_seq: int) -> Optional[WTSNPEntry]:
+        """Find the entry covering (ordering_node, local_seq), if any."""
+        for e in self.wtsnp:
+            if e.covers(ordering_node, local_seq):
+                return e
+        return None
+
+    def snapshot(self) -> "OrderingToken":
+        """Deep copy kept as a node's New/Old OrderingToken."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def entries_by_node(self) -> Dict[NodeId, List[WTSNPEntry]]:
+        """WTSNP entries grouped by ordering node (for O(streams) scans)."""
+        out: Dict[NodeId, List[WTSNPEntry]] = {}
+        for e in self.wtsnp:
+            out.setdefault(e.ordering_node, []).append(e)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.wtsnp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OrderingToken gid={self.gid} next={self.next_global_seq} "
+            f"entries={len(self.wtsnp)} id={self.token_id}>"
+        )

@@ -1,0 +1,34 @@
+"""Group membership service (paper §3, details "omitted for brevity").
+
+The paper relies on an underlying membership protocol with a specific
+*interface*: membership change events (Member-Join, Member-Leave,
+Member-Failure, Member-Handoff) are captured at the MH's attached AP and
+propagated up the hierarchy to the top-ring leader (optionally batched);
+topology maintenance emits Token-Loss / Multiple-Token messages to the
+multicast layer.  The wire propagation and the maintenance signals are
+implemented inside :mod:`repro.core` (NEs relay
+:class:`~repro.core.messages.MembershipUpdate` upward; the
+:class:`~repro.core.protocol.RingNet` facade raises the token signals).
+
+This package provides the *bookkeeping* half:
+
+* :mod:`repro.membership.events` — typed membership events;
+* :mod:`repro.membership.tables` — per-node member tables and the
+  aggregated group view;
+* :mod:`repro.membership.protocol` — :class:`MembershipService`, which
+  observes the trace bus, maintains the aggregated view the top leader
+  would hold, applies batching, and records propagation statistics for
+  the churn experiments (E5).
+"""
+
+from repro.membership.events import EventKind, MembershipEvent
+from repro.membership.tables import GroupView, MemberRecord
+from repro.membership.protocol import MembershipService
+
+__all__ = [
+    "EventKind",
+    "MembershipEvent",
+    "GroupView",
+    "MemberRecord",
+    "MembershipService",
+]

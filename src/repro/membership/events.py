@@ -1,0 +1,36 @@
+"""Membership events (paper §1: Member-Join / -Leave / -Failure / -Handoff)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.address import NodeId
+
+
+class EventKind(enum.Enum):
+    """The four membership event kinds the paper's GCS must handle."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+    FAILURE = "failure"
+    HANDOFF = "handoff"
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change, as captured at an AP."""
+
+    time: float
+    kind: EventKind
+    mh: NodeId
+    #: AP where the event was captured (new AP for handoffs).
+    ap: Optional[NodeId] = None
+    #: Old AP (handoffs only).
+    old_ap: Optional[NodeId] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is EventKind.HANDOFF:
+            return f"[{self.time:.1f}] {self.mh} handoff {self.old_ap}->{self.ap}"
+        return f"[{self.time:.1f}] {self.mh} {self.kind.value} @ {self.ap}"

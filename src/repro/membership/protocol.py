@@ -1,0 +1,125 @@
+"""The membership service: trace-driven bookkeeping and batching.
+
+:class:`MembershipService` attaches to a running
+:class:`~repro.core.protocol.RingNet` instance and reconstructs, from the
+protocol's own trace events, the aggregated :class:`GroupView` the
+top-ring leader holds, plus the event history and propagation statistics
+the churn experiments (E5) report.
+
+Batching: the paper suggests "some batched update scheme" for efficient
+propagation.  The service models it by coalescing events into windows of
+``batch_interval`` and reporting the batch-size distribution — the wire
+cost of propagation is one MembershipUpdate per event without batching
+versus one per window with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.membership.events import EventKind, MembershipEvent
+from repro.membership.tables import GroupView
+from repro.net.address import NodeId
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+class MembershipService:
+    """Aggregated membership bookkeeping for one RingNet group."""
+
+    def __init__(self, gid: str, trace: TraceBus, batch_interval: float = 50.0):
+        self.gid = gid
+        self.view = GroupView(gid)
+        self.events: List[MembershipEvent] = []
+        self.batch_interval = batch_interval
+        self._batch_start: Optional[float] = None
+        self._batch_count = 0
+        self.batch_sizes: List[int] = []
+        #: MH -> join-request time, for join-latency statistics.
+        self._join_requested_at: Dict[NodeId, float] = {}
+        self.join_latencies: List[float] = []
+        trace.subscribe("mh.join", self._on_join_request)
+        trace.subscribe("mh.member", self._on_member)
+        trace.subscribe("mh.leave", self._on_leave)
+        trace.subscribe("mh.handoff", self._on_handoff)
+        trace.subscribe("ap.register", self._on_register)
+
+    # ------------------------------------------------------------------
+    # Trace handlers
+    # ------------------------------------------------------------------
+    def _on_join_request(self, rec: TraceRecord) -> None:
+        self._join_requested_at[rec["mh"]] = rec.time
+        self._record(MembershipEvent(rec.time, EventKind.JOIN,
+                                     rec["mh"], ap=rec["ap"]))
+        self.view.apply_join(rec["mh"], rec["ap"], rec.time)
+
+    def _on_member(self, rec: TraceRecord) -> None:
+        asked = self._join_requested_at.pop(rec["mh"], None)
+        if asked is not None:
+            self.join_latencies.append(rec.time - asked)
+
+    def _on_leave(self, rec: TraceRecord) -> None:
+        self._record(MembershipEvent(rec.time, EventKind.LEAVE,
+                                     rec["mh"], ap=rec.get("ap")))
+        self.view.apply_leave(rec["mh"], rec.time)
+
+    def _on_handoff(self, rec: TraceRecord) -> None:
+        self._record(MembershipEvent(rec.time, EventKind.HANDOFF, rec["mh"],
+                                     ap=rec["new"], old_ap=rec.get("old")))
+        self.view.apply_handoff(rec["mh"], rec["new"], rec.time)
+
+    def _on_register(self, rec: TraceRecord) -> None:
+        # Keeps the view's AP attribution current even for re-registrations
+        # the MH-side trace already covered; also adopts members whose
+        # original join predates this service (idempotent by design).
+        mh = rec["mh"]
+        if mh in self.view:
+            self.view.apply_handoff(mh, rec["node"], rec.time)
+        else:
+            self.view.apply_join(mh, rec["node"], rec.time)
+
+    # ------------------------------------------------------------------
+    # Batching model
+    # ------------------------------------------------------------------
+    def _record(self, ev: MembershipEvent) -> None:
+        self.events.append(ev)
+        if self._batch_start is None or ev.time - self._batch_start > self.batch_interval:
+            if self._batch_count:
+                self.batch_sizes.append(self._batch_count)
+            self._batch_start = ev.time
+            self._batch_count = 1
+        else:
+            self._batch_count += 1
+
+    def flush_batches(self) -> None:
+        """Close the open batch window (call at end of run)."""
+        if self._batch_count:
+            self.batch_sizes.append(self._batch_count)
+            self._batch_count = 0
+            self._batch_start = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def updates_without_batching(self) -> int:
+        """Wire updates if every event propagated individually."""
+        return len(self.events)
+
+    def updates_with_batching(self) -> int:
+        """Wire updates under the batched scheme (one per window)."""
+        open_batch = 1 if self._batch_count else 0
+        return len(self.batch_sizes) + open_batch
+
+    def summary(self) -> dict:
+        """Headline numbers for the churn experiment."""
+        return {
+            "members": self.view.size,
+            "joins": self.view.joins,
+            "leaves": self.view.leaves,
+            "handoffs": self.view.handoffs,
+            "events": len(self.events),
+            "batched_updates": self.updates_with_batching(),
+            "mean_join_latency": (
+                sum(self.join_latencies) / len(self.join_latencies)
+                if self.join_latencies else 0.0
+            ),
+        }

@@ -1,0 +1,108 @@
+"""Membership tables: per-member records and the aggregated group view."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.net.address import NodeId
+
+
+@dataclass
+class MemberRecord:
+    """What the membership service knows about one group member."""
+
+    mh: NodeId
+    ap: Optional[NodeId]
+    joined_at: float
+    last_event_at: float
+    handoffs: int = 0
+    operational: bool = True
+
+
+class GroupView:
+    """The aggregated membership of one group.
+
+    This is the state the top-ring leader accumulates from upward
+    membership propagation: the set of currently operational members and
+    which AP each is attached to (the "aggregate location information"
+    that the Host-View scheme tracks globally — RingNet only needs it at
+    the top for group management, not on the data path).
+    """
+
+    def __init__(self, gid: str):
+        self.gid = gid
+        self._members: Dict[NodeId, MemberRecord] = {}
+        self.version = 0
+        self.joins = 0
+        self.leaves = 0
+        self.failures = 0
+        self.handoffs = 0
+
+    # ------------------------------------------------------------------
+    def apply_join(self, mh: NodeId, ap: Optional[NodeId], at: float) -> None:
+        """Record a join (idempotent for an already-known member)."""
+        rec = self._members.get(mh)
+        if rec is None or not rec.operational:
+            self._members[mh] = MemberRecord(mh, ap, joined_at=at,
+                                             last_event_at=at)
+            self.joins += 1
+            self.version += 1
+        else:
+            rec.ap = ap
+            rec.last_event_at = at
+
+    def apply_leave(self, mh: NodeId, at: float, failure: bool = False) -> None:
+        """Record a leave or failure."""
+        rec = self._members.get(mh)
+        if rec is not None and rec.operational:
+            rec.operational = False
+            rec.last_event_at = at
+            self.version += 1
+            if failure:
+                self.failures += 1
+            else:
+                self.leaves += 1
+
+    def apply_handoff(self, mh: NodeId, new_ap: NodeId, at: float) -> None:
+        """Record a handoff (member location change, not a churn event)."""
+        rec = self._members.get(mh)
+        if rec is not None:
+            rec.ap = new_ap
+            rec.handoffs += 1
+            rec.last_event_at = at
+            self.handoffs += 1
+            # Per the paper's "no notion of handoff in the wired network",
+            # a handoff does NOT bump the membership version: the member
+            # set is unchanged.
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[NodeId]:
+        """Currently operational members (sorted)."""
+        return sorted(m for m, r in self._members.items() if r.operational)
+
+    @property
+    def size(self) -> int:
+        """Number of operational members."""
+        return sum(1 for r in self._members.values() if r.operational)
+
+    def record(self, mh: NodeId) -> Optional[MemberRecord]:
+        """The record for one member (None when never seen)."""
+        return self._members.get(mh)
+
+    def aps_hosting_members(self) -> Set[NodeId]:
+        """APs with at least one operational member — the RingNet
+        equivalent of a Host-View's MSS set."""
+        return {r.ap for r in self._members.values()
+                if r.operational and r.ap is not None}
+
+    def __contains__(self, mh: NodeId) -> bool:
+        rec = self._members.get(mh)
+        return rec is not None and rec.operational
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GroupView {self.gid} members={self.size} v{self.version}>"

@@ -1,0 +1,225 @@
+"""Trace-bus collectors for the quantities the experiments report."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import summarize
+from repro.net.address import NodeId
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+class LatencyCollector:
+    """End-to-end delivery latency: source send → MH app delivery.
+
+    Subscribes to ``mh.deliver`` (which carries ``latency``); also keeps
+    per-MH samples for fairness checks.
+    """
+
+    def __init__(self, trace: TraceBus, warmup: float = 0.0):
+        self.warmup = warmup
+        self.samples: List[float] = []
+        self.by_mh: Dict[NodeId, List[float]] = defaultdict(list)
+        trace.subscribe("mh.deliver", self._on_deliver)
+
+    def _on_deliver(self, rec: TraceRecord) -> None:
+        if rec.time < self.warmup:
+            return
+        lat = rec["latency"]
+        self.samples.append(lat)
+        self.by_mh[rec["mh"]].append(lat)
+
+    def summary(self) -> Dict[str, float]:
+        """mean/p50/p95/p99/max over all deliveries after warmup."""
+        return summarize(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+
+class ThroughputCollector:
+    """Send and delivery rates over a measurement window.
+
+    * ``sent_rate(t0, t1)`` — source messages per second (aggregate).
+    * ``goodput(t0, t1)`` — per-MH average app deliveries per second;
+      for the Theorem 5.1 check this should match the aggregate source
+      rate ``s·λ`` when ordering keeps up.
+    """
+
+    def __init__(self, trace: TraceBus):
+        self.sends: List[float] = []
+        self.deliveries: Dict[NodeId, List[float]] = defaultdict(list)
+        trace.subscribe("source.send", self._on_send)
+        trace.subscribe("mh.deliver", self._on_deliver)
+
+    def _on_send(self, rec: TraceRecord) -> None:
+        self.sends.append(rec.time)
+
+    def _on_deliver(self, rec: TraceRecord) -> None:
+        self.deliveries[rec["mh"]].append(rec.time)
+
+    @staticmethod
+    def _rate(times: Sequence[float], t0: float, t1: float) -> float:
+        n = sum(1 for t in times if t0 <= t < t1)
+        span_s = (t1 - t0) / 1000.0
+        return n / span_s if span_s > 0 else 0.0
+
+    def sent_rate(self, t0: float, t1: float) -> float:
+        """Aggregate source rate (msg/s) in [t0, t1)."""
+        return self._rate(self.sends, t0, t1)
+
+    def goodput(self, t0: float, t1: float) -> float:
+        """Mean per-MH delivery rate (msg/s) in [t0, t1)."""
+        if not self.deliveries:
+            return 0.0
+        rates = [self._rate(ts, t0, t1) for ts in self.deliveries.values()]
+        return sum(rates) / len(rates)
+
+    def min_goodput(self, t0: float, t1: float) -> float:
+        """Slowest MH's delivery rate (msg/s) in [t0, t1)."""
+        if not self.deliveries:
+            return 0.0
+        return min(self._rate(ts, t0, t1) for ts in self.deliveries.values())
+
+
+class BufferSampler:
+    """Periodic occupancy sampling of protocol buffers (E3).
+
+    ``probe`` is called every ``period`` and must return a list of
+    ``{"node": ..., "wq": int, "mq": int, ...}`` dicts
+    (``RingNet.buffer_reports`` has this shape).  Peaks are tracked both
+    per node and globally.
+    """
+
+    def __init__(self, sim: Simulator, probe: Callable[[], List[dict]],
+                 period: float = 20.0, warmup: float = 0.0):
+        self.sim = sim
+        self.probe = probe
+        self.warmup = warmup
+        self.peak_wq: Dict[NodeId, int] = defaultdict(int)
+        self.peak_mq: Dict[NodeId, int] = defaultdict(int)
+        self.series: List[Tuple[float, int, int]] = []  # (t, tot wq, tot mq)
+        self._timer = PeriodicTimer(sim, period, self._sample)
+
+    def start(self) -> None:
+        """Begin sampling."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        if self.sim.now < self.warmup:
+            return
+        reports = self.probe()
+        tot_wq = tot_mq = 0
+        for r in reports:
+            node = r["node"]
+            wq, mq = r["wq"], r["mq"]
+            tot_wq += wq
+            tot_mq += mq
+            if wq > self.peak_wq[node]:
+                self.peak_wq[node] = wq
+            if mq > self.peak_mq[node]:
+                self.peak_mq[node] = mq
+        self.series.append((self.sim.now, tot_wq, tot_mq))
+
+    def max_wq(self) -> int:
+        """Largest per-node WQ occupancy observed."""
+        return max(self.peak_wq.values(), default=0)
+
+    def max_mq(self) -> int:
+        """Largest per-node MQ occupancy observed."""
+        return max(self.peak_mq.values(), default=0)
+
+
+class TokenRotationCollector:
+    """Measured token rotation times (T_order) from ``token.hold``."""
+
+    def __init__(self, trace: TraceBus):
+        self._last_hold: Dict[NodeId, float] = {}
+        self.rotations: List[float] = []
+        trace.subscribe("token.hold", self._on_hold)
+
+    def _on_hold(self, rec: TraceRecord) -> None:
+        node = rec["node"]
+        prev = self._last_hold.get(node)
+        if prev is not None:
+            self.rotations.append(rec.time - prev)
+        self._last_hold[node] = rec.time
+
+    def summary(self) -> Dict[str, float]:
+        """Rotation time distribution (ms)."""
+        return summarize(self.rotations)
+
+
+class InterruptionCollector:
+    """Post-handoff service interruption (E7).
+
+    For each ``mh.handoff`` record, the interruption is the gap between
+    the handoff instant and that MH's next ``mh.deliver``.  MHs that
+    never deliver again before the run ends contribute ``inf``-free
+    censored entries counted separately.
+    """
+
+    def __init__(self, trace: TraceBus):
+        self._pending: Dict[NodeId, float] = {}
+        self.interruptions: List[float] = []
+        self.censored = 0
+        trace.subscribe("mh.handoff", self._on_handoff)
+        trace.subscribe("mh.deliver", self._on_deliver)
+
+    def _on_handoff(self, rec: TraceRecord) -> None:
+        mh = rec["mh"]
+        if mh in self._pending:
+            self.censored += 1  # handed off again before any delivery
+        self._pending[mh] = rec.time
+
+    def _on_deliver(self, rec: TraceRecord) -> None:
+        mh = rec["mh"]
+        t0 = self._pending.pop(mh, None)
+        if t0 is not None:
+            self.interruptions.append(rec.time - t0)
+
+    def summary(self) -> Dict[str, float]:
+        """Interruption distribution (ms)."""
+        return summarize(self.interruptions)
+
+
+class ReliabilityCollector:
+    """Delivery ratio and loss accounting (E10).
+
+    Counts app deliveries and loss tombstones per MH; the delivery ratio
+    for an MH is delivered / (delivered + tombstoned).
+    """
+
+    def __init__(self, trace: TraceBus):
+        self.delivered: Dict[NodeId, int] = defaultdict(int)
+        self.tombstoned: Dict[NodeId, int] = defaultdict(int)
+        trace.subscribe("mh.deliver", self._on_deliver)
+        trace.subscribe("mh.tombstone", self._on_tombstone)
+
+    def _on_deliver(self, rec: TraceRecord) -> None:
+        self.delivered[rec["mh"]] += 1
+
+    def _on_tombstone(self, rec: TraceRecord) -> None:
+        self.tombstoned[rec["mh"]] += 1
+
+    def delivery_ratio(self) -> float:
+        """Aggregate delivered / (delivered + tombstoned)."""
+        d = sum(self.delivered.values())
+        t = sum(self.tombstoned.values())
+        return d / (d + t) if (d + t) else 1.0
+
+    def worst_mh_ratio(self) -> float:
+        """The worst per-MH delivery ratio."""
+        ratios = []
+        for mh in set(self.delivered) | set(self.tombstoned):
+            d, t = self.delivered[mh], self.tombstoned[mh]
+            ratios.append(d / (d + t) if (d + t) else 1.0)
+        return min(ratios, default=1.0)

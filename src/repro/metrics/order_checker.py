@@ -1,0 +1,122 @@
+"""Total-order verification.
+
+Totally-ordered multicast requires (for every pair of receivers) that
+messages be delivered in the *same relative order*.  With global
+sequence numbers the check decomposes into three receiver-local
+invariants plus one global one:
+
+1. **Monotonicity** — each MH's delivered global sequences are strictly
+   increasing.
+2. **Gap accounting** — within an MH's membership span, every skipped
+   sequence number corresponds to a recorded loss tombstone (best-effort
+   reliability may drop messages, but silently skipping is a bug).
+3. **Agreement** — the payload delivered for a given global sequence is
+   identical at every MH (no two messages ever share a sequence).
+4. **Validity** — every delivered payload was actually sent by a source.
+
+The checker consumes ``mh.deliver`` / ``mh.tombstone`` / ``source.send``
+trace records online (no post-processing of big logs needed) and
+accumulates violations with enough detail to debug.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.net.address import NodeId
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+class OrderChecker:
+    """Online total-order invariant checker."""
+
+    def __init__(self, trace: TraceBus, check_validity: bool = True):
+        self.check_validity = check_validity
+        self._last_seq: Dict[NodeId, int] = {}
+        self._expected_next: Dict[NodeId, Optional[int]] = {}
+        self._tombstones: Dict[NodeId, Set[int]] = defaultdict(set)
+        self._payload_of: Dict[int, Tuple[NodeId, int]] = {}
+        self._sent: Set[Tuple[NodeId, int]] = set()
+        self.violations: List[str] = []
+        self.deliveries_checked = 0
+        trace.subscribe("mh.deliver", self._on_deliver)
+        trace.subscribe("mh.tombstone", self._on_tombstone)
+        trace.subscribe("mh.member", self._on_member)
+        if check_validity:
+            trace.subscribe("source.send", self._on_send)
+
+    # ------------------------------------------------------------------
+    def _on_send(self, rec: TraceRecord) -> None:
+        self._sent.add((rec["source"], rec["local_seq"]))
+
+    def _on_tombstone(self, rec: TraceRecord) -> None:
+        self._tombstones[rec["mh"]].add(rec["gseq"])
+
+    def _on_member(self, rec: TraceRecord) -> None:
+        # A (re)join starts a new membership span: messages between the
+        # previous span and the new base were legitimately missed, so gap
+        # accounting restarts at the new base.
+        self._expected_next[rec["mh"]] = rec["base"] + 1
+
+    def _on_deliver(self, rec: TraceRecord) -> None:
+        mh, gseq = rec["mh"], rec["gseq"]
+        self.deliveries_checked += 1
+
+        # 1. Monotonicity.
+        last = self._last_seq.get(mh)
+        if last is not None and gseq <= last:
+            self.violations.append(
+                f"monotonicity: {mh} delivered gseq {gseq} after {last}"
+            )
+        self._last_seq[mh] = gseq
+
+        # 2. Gap accounting (only within the membership span).
+        expected = self._expected_next.get(mh)
+        if expected is not None:
+            for missing in range(expected, gseq):
+                if missing not in self._tombstones[mh]:
+                    self.violations.append(
+                        f"gap: {mh} skipped gseq {missing} with no tombstone"
+                    )
+        self._expected_next[mh] = gseq + 1
+
+        # 3. Agreement.
+        ident = (rec["source"], rec["local_seq"])
+        known = self._payload_of.get(gseq)
+        if known is None:
+            self._payload_of[gseq] = ident
+        elif known != ident:
+            self.violations.append(
+                f"agreement: gseq {gseq} is {known} at some MH but "
+                f"{ident} at {mh}"
+            )
+
+        # 4. Validity.
+        if self.check_validity and ident not in self._sent:
+            self.violations.append(
+                f"validity: {mh} delivered never-sent message {ident}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when no invariant has been violated so far."""
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        """Raise AssertionError listing the first violations (tests)."""
+        if self.violations:
+            head = "; ".join(self.violations[:5])
+            raise AssertionError(
+                f"{len(self.violations)} total-order violations "
+                f"({self.deliveries_checked} deliveries checked): {head}"
+            )
+
+    def report(self) -> dict:
+        """Headline numbers for experiment tables."""
+        return {
+            "deliveries": self.deliveries_checked,
+            "distinct_gseqs": len(self._payload_of),
+            "violations": len(self.violations),
+        }

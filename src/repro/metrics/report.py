@@ -1,0 +1,63 @@
+"""Small report helpers: percentiles and fixed-width tables.
+
+The benchmark harness prints paper-style rows with
+:func:`format_table`; keeping it dependency-free (no pandas offline)
+and deterministic (stable column order) matters more than prettiness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) of ``values``; 0.0 when empty."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """mean / p50 / p95 / p99 / max summary of a sample."""
+    if not len(values):
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def format_table(rows: Iterable[Dict[str, object]],
+                 columns: Sequence[str] | None = None,
+                 float_fmt: str = "{:.2f}") -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order: ``columns`` if given, else the keys of the first row.
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    rendered = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in rendered))
+              for i, c in enumerate(cols)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(cols)))
+        for row in rendered
+    )
+    return f"{header}\n{sep}\n{body}"

@@ -1,0 +1,29 @@
+"""Mobility substrate: cells, movement models, and the handoff driver.
+
+The paper's evaluation environment is a cellular mobile Internet: MHs
+roam between AP coverage cells and hand off as they cross boundaries.
+This package provides:
+
+* :mod:`repro.mobility.cells` — a rectangular cell grid with one AP per
+  cell and an adjacency relation (the "nearby APs" of the smooth-handoff
+  scheme);
+* :mod:`repro.mobility.models` — movement models producing cell-crossing
+  times: a memoryless random-walk (exponential dwell, uniform neighbor)
+  and a directional random-waypoint-like walker that tends to keep
+  heading, stressing reservation schemes differently;
+* :mod:`repro.mobility.handoff` — :class:`HandoffDriver`, which owns the
+  movement schedule and calls ``RingNet.handoff`` (or any compatible
+  protocol facade) at each crossing.
+"""
+
+from repro.mobility.cells import CellGrid
+from repro.mobility.models import DirectionalWalk, MobilityModel, RandomWalk
+from repro.mobility.handoff import HandoffDriver
+
+__all__ = [
+    "CellGrid",
+    "MobilityModel",
+    "RandomWalk",
+    "DirectionalWalk",
+    "HandoffDriver",
+]

@@ -1,0 +1,37 @@
+"""Node identities.
+
+The paper distinguishes globally unique identities (GUID — e.g. a Mobile
+IP home address) from locally unique ones (LUID — a care-of address).
+For the simulation a single flat, human-readable string id per node is
+sufficient for routing; the GUID/LUID split is kept at the protocol layer
+(:mod:`repro.core.mobile_host`).
+
+Ids are plain strings with a ``tier:index`` convention (``"br:0"``,
+``"ag:1.2"``, ``"ap:1.2.3"``, ``"mh:17"``, ``"src:0"``), which keeps
+traces grep-able and sorts naturally within a tier.
+"""
+
+from __future__ import annotations
+
+NodeId = str
+
+
+def make_id(tier: str, *indices: int) -> NodeId:
+    """Build the conventional ``tier:i.j.k`` identifier.
+
+    >>> make_id("ag", 1, 2)
+    'ag:1.2'
+    """
+    if not indices:
+        raise ValueError("at least one index is required")
+    return f"{tier}:" + ".".join(str(i) for i in indices)
+
+
+def tier_of(node_id: NodeId) -> str:
+    """Extract the tier prefix of an id built by :func:`make_id`.
+
+    >>> tier_of("ap:1.2.3")
+    'ap'
+    """
+    tier, _, _ = node_id.partition(":")
+    return tier

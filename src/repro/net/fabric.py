@@ -1,0 +1,159 @@
+"""The fabric: node registry + link table + per-hop transmission model.
+
+The fabric implements *direct-link* semantics: ``send(a, b, msg)``
+requires a configured link between ``a`` and ``b``.  Protocols in this
+repo (RingNet and all baselines) are overlay protocols whose logical
+neighbors are always provisioned with a link by the topology builders, so
+no routing layer is needed — matching the paper, where all communication
+is between configured neighbors (ring next/prev, parent/child, AP↔MH).
+
+A ``default_spec`` may be installed to auto-create links on first use,
+which keeps ad-hoc tests short.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.address import NodeId
+from repro.net.link import Link, LinkSpec
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.sim.engine import Simulator
+
+
+class Fabric:
+    """Message transmission substrate.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that schedules deliveries.
+    default_spec:
+        When given, unknown (src, dst) pairs get a link with this spec on
+        first send instead of raising.
+    """
+
+    def __init__(self, sim: Simulator, default_spec: Optional[LinkSpec] = None):
+        self.sim = sim
+        self.nodes: Dict[NodeId, NetNode] = {}
+        self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
+        self.default_spec = default_spec
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, node: NetNode) -> None:
+        """Add a node; ids must be unique within a fabric."""
+        if node.id in self.nodes:
+            raise ValueError(f"duplicate node id {node.id!r}")
+        self.nodes[node.id] = node
+
+    def node(self, node_id: NodeId) -> NetNode:
+        """Look up a node by id (KeyError when absent)."""
+        return self.nodes[node_id]
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """True when a node with this id is registered."""
+        return node_id in self.nodes
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(a: NodeId, b: NodeId) -> Tuple[NodeId, NodeId]:
+        return (a, b) if a <= b else (b, a)
+
+    def connect(self, a: NodeId, b: NodeId, spec: LinkSpec) -> Link:
+        """Create (or replace the spec of) the link between a and b."""
+        if a == b:
+            raise ValueError(f"self-link on {a!r}")
+        key = self._key(a, b)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(key[0], key[1], spec)
+            self._links[key] = link
+        else:
+            link.spec = spec
+            link.up = True
+        return link
+
+    def disconnect(self, a: NodeId, b: NodeId) -> None:
+        """Remove the link entirely (send() will then fail/auto-create)."""
+        self._links.pop(self._key(a, b), None)
+
+    def link(self, a: NodeId, b: NodeId) -> Optional[Link]:
+        """The link between a and b, or None."""
+        return self._links.get(self._key(a, b))
+
+    def set_link_up(self, a: NodeId, b: NodeId, up: bool) -> None:
+        """Raise/lower a link; messages on a down link are dropped."""
+        link = self._links.get(self._key(a, b))
+        if link is None:
+            raise KeyError(f"no link {a!r} <-> {b!r}")
+        link.up = up
+
+    @property
+    def links(self) -> list[Link]:
+        """All configured links (stable order for reports)."""
+        return [self._links[k] for k in sorted(self._links)]
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, msg: Message) -> bool:
+        """Simulate one transmission hop.
+
+        Returns True when the message was accepted for transmission
+        (which does *not* imply delivery — it may still be lost).
+        """
+        self.messages_sent += 1
+        link = self._links.get(self._key(src, dst))
+        if link is None:
+            if self.default_spec is None:
+                raise KeyError(f"no link {src!r} <-> {dst!r} and no default spec")
+            link = self.connect(src, dst, self.default_spec)
+
+        msg.src = src
+        msg.dst = dst
+        msg.sent_at = self.sim.now
+        link.sent += 1
+
+        if not link.up:
+            link.dropped += 1
+            self.messages_dropped += 1
+            return True
+        spec = link.spec
+        if spec.loss_prob > 0.0:
+            if self.sim.rng("link.loss").random() < spec.loss_prob:
+                link.dropped += 1
+                self.messages_dropped += 1
+                self.sim.trace.emit(self.sim.now, "net.loss", src=src, dst=dst,
+                                    msg_kind=msg.kind)
+                return True
+
+        delay = spec.latency
+        if spec.jitter > 0.0:
+            delay += self.sim.rng("link.jitter").random() * spec.jitter
+        if spec.bandwidth_bps > 0.0:
+            delay += msg.size_bits / spec.bandwidth_bps * 1000.0  # ms units
+
+        self.sim.schedule(delay, self._arrive, dst, msg)
+        return True
+
+    def _arrive(self, dst: NodeId, msg: Message) -> None:
+        node = self.nodes.get(dst)
+        if node is None or not node.alive:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        node.deliver(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Fabric nodes={len(self.nodes)} links={len(self._links)} "
+            f"sent={self.messages_sent} delivered={self.messages_delivered}>"
+        )

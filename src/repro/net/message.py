@@ -1,0 +1,41 @@
+"""Base message type carried by the fabric.
+
+Concrete protocols subclass :class:`Message` (usually as frozen-ish
+dataclasses) and dispatch on type in their node handlers.  The fabric
+itself only reads :attr:`size_bits` (for bandwidth serialization delay)
+and fills in the routing envelope (:attr:`src`, :attr:`dst`,
+:attr:`sent_at`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.address import NodeId
+
+#: Default message size used when a subclass does not override it.
+#: 1 KB payloads are representative of the paper's application messages.
+DEFAULT_SIZE_BITS = 8 * 1024
+
+
+class Message:
+    """A network message.  Subclass and add payload fields.
+
+    The envelope fields are assigned by :meth:`repro.net.fabric.Fabric.send`;
+    user code never sets them directly.
+    """
+
+    #: Size on the wire, used for serialization delay: size_bits / bandwidth.
+    size_bits: int = DEFAULT_SIZE_BITS
+
+    src: Optional[NodeId] = None
+    dst: Optional[NodeId] = None
+    sent_at: Optional[float] = None
+
+    @property
+    def kind(self) -> str:
+        """Short type tag used in traces (the class name)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.src}->{self.dst}>"

@@ -1,0 +1,229 @@
+"""Per-link reliable transport: sequencing, acks, bounded retransmission.
+
+The paper repeatedly invokes "some retransmission scheme" — for passing
+the OrderingToken, for ring forwarding, and for parent→child / AP→MH
+delivery — with *best-effort* semantics: after a bounded number of
+retries the message is declared really lost and the upper layer moves on
+(the "local-scope-based retransmission scheme" of §4.2.3).
+
+:class:`ReliableChannel` provides exactly that contract to any
+:class:`~repro.net.node.NetNode`:
+
+* every payload is wrapped in a :class:`Segment` with a per-destination
+  sequence number;
+* the receiver acks each segment (:class:`SegAck`) and suppresses
+  duplicates, delivering each payload exactly once (possibly out of
+  order — ordering is the protocol layer's job);
+* the sender retransmits on an RTO timer up to ``max_retries`` times and
+  then *gives up*, reporting the loss through ``on_give_up``.
+
+Usage pattern inside a node::
+
+    self.chan = ReliableChannel(self, rto=20.0, max_retries=5,
+                                on_give_up=self._lost)
+
+    def on_message(self, msg):
+        payload = self.chan.accept(msg)
+        if payload is None:        # transport control or duplicate
+            return
+        ...handle payload...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.net.address import NodeId
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.sim.timers import Timer
+
+
+class Segment(Message):
+    """Channel-level wrapper: (seq, payload) between one node pair."""
+
+    __slots__ = ("seq", "payload")
+
+    def __init__(self, seq: int, payload: Message):
+        self.seq = seq
+        self.payload = payload
+        self.size_bits = payload.size_bits + 64  # header overhead
+
+
+class SegAck(Message):
+    """Positive acknowledgement of one segment."""
+
+    size_bits = 128
+
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int):
+        self.seq = seq
+
+
+@dataclass
+class TransportStats:
+    """Counters exposed for the reliability experiments."""
+
+    sent: int = 0
+    retransmitted: int = 0
+    acked: int = 0
+    gave_up: int = 0
+    duplicates: int = 0
+    delivered: int = 0
+
+
+@dataclass
+class _Outstanding:
+    """Book-keeping for one unacked segment."""
+
+    dst: NodeId
+    segment: Segment
+    retries_left: int
+    timer: Timer = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class ReliableChannel:
+    """Best-effort reliable unicast on top of a lossy fabric.
+
+    Parameters
+    ----------
+    node:
+        Owning node; the channel sends through it and shares its fate.
+    rto:
+        Retransmission timeout (same time units as link latency — ms).
+    max_retries:
+        Retransmissions before giving up.  ``max_retries=0`` degrades the
+        channel to pure fire-and-forget with dedup.
+    on_give_up:
+        Called as ``on_give_up(dst, payload)`` when a payload is dropped
+        after exhausting retries — the hook the protocol layer uses to
+        mark a message "really lost" (Received=False, Waiting=False).
+    on_ack:
+        Called as ``on_ack(dst, payload)`` when the peer acknowledges a
+        segment — the hook the delivery algorithm uses to advance its
+        per-child WT (max delivered global sequence number).
+    """
+
+    def __init__(
+        self,
+        node: NetNode,
+        rto: float = 20.0,
+        max_retries: int = 5,
+        on_give_up: Optional[Callable[[NodeId, Message], None]] = None,
+        on_ack: Optional[Callable[[NodeId, Message], None]] = None,
+    ):
+        if rto <= 0:
+            raise ValueError(f"rto must be positive, got {rto}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.node = node
+        self.rto = rto
+        self.max_retries = max_retries
+        self.on_give_up = on_give_up
+        self.on_ack = on_ack
+        self.stats = TransportStats()
+        self._next_seq: Dict[NodeId, int] = {}
+        self._outstanding: Dict[Tuple[NodeId, int], _Outstanding] = {}
+        # Receiver-side dedup state per peer: cumulative floor + sparse set.
+        self._seen_floor: Dict[NodeId, int] = {}
+        self._seen_sparse: Dict[NodeId, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def send(self, dst: NodeId, payload: Message) -> int:
+        """Send ``payload`` reliably; returns the channel sequence number."""
+        seq = self._next_seq.get(dst, 0)
+        self._next_seq[dst] = seq + 1
+        seg = Segment(seq, payload)
+        out = _Outstanding(dst, seg, self.max_retries)
+        out.timer = Timer(self.node.sim, self._on_timeout, dst, seq)
+        self._outstanding[(dst, seq)] = out
+        self.stats.sent += 1
+        self.node.send(dst, seg)
+        out.timer.start(self.rto)
+        return seq
+
+    def _on_timeout(self, dst: NodeId, seq: int) -> None:
+        out = self._outstanding.get((dst, seq))
+        if out is None:
+            return
+        if not self.node.alive:
+            # A crashed node retransmits nothing; leave state for recovery.
+            return
+        if out.retries_left <= 0:
+            del self._outstanding[(dst, seq)]
+            self.stats.gave_up += 1
+            self.node.sim.trace.emit(
+                self.node.now, "transport.give_up",
+                src=self.node.id, dst=dst, msg_kind=out.segment.payload.kind,
+            )
+            if self.on_give_up is not None:
+                self.on_give_up(dst, out.segment.payload)
+            return
+        out.retries_left -= 1
+        self.stats.retransmitted += 1
+        self.node.send(dst, out.segment)
+        out.timer.start(self.rto)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of currently unacked segments."""
+        return len(self._outstanding)
+
+    def cancel_all(self, dst: Optional[NodeId] = None) -> None:
+        """Abandon outstanding segments (to ``dst``, or all)."""
+        keys = [k for k in self._outstanding if dst is None or k[0] == dst]
+        for k in keys:
+            self._outstanding[k].timer.stop()
+            del self._outstanding[k]
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def accept(self, msg: Message) -> Optional[Message]:
+        """Filter transport messages; return app payload or None.
+
+        Call with *every* incoming message.  Returns the inner payload
+        exactly once per segment; returns None for acks, duplicates and
+        non-transport messages are returned unchanged.
+        """
+        if isinstance(msg, SegAck):
+            out = self._outstanding.pop((msg.src, msg.seq), None)
+            if out is not None:
+                out.timer.stop()
+                self.stats.acked += 1
+                if self.on_ack is not None:
+                    self.on_ack(out.dst, out.segment.payload)
+            return None
+        if isinstance(msg, Segment):
+            # Always (re-)ack: the previous ack may have been lost.
+            self.node.send(msg.src, SegAck(msg.seq))
+            if self._already_seen(msg.src, msg.seq):
+                self.stats.duplicates += 1
+                return None
+            self._mark_seen(msg.src, msg.seq)
+            self.stats.delivered += 1
+            payload = msg.payload
+            payload.src = msg.src
+            payload.dst = msg.dst
+            payload.sent_at = msg.sent_at
+            return payload
+        return msg
+
+    def _already_seen(self, src: NodeId, seq: int) -> bool:
+        if seq < self._seen_floor.get(src, 0):
+            return True
+        return seq in self._seen_sparse.get(src, ())
+
+    def _mark_seen(self, src: NodeId, seq: int) -> None:
+        floor = self._seen_floor.get(src, 0)
+        sparse = self._seen_sparse.setdefault(src, set())
+        sparse.add(seq)
+        # Compact: advance the cumulative floor over contiguous seqs.
+        while floor in sparse:
+            sparse.remove(floor)
+            floor += 1
+        self._seen_floor[src] = floor

@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel underpins every protocol in this repository.  It is a classic
+event-heap scheduler with three deliberate properties:
+
+* **Determinism** — events with identical timestamps fire in scheduling
+  order (a monotonic tie-break counter), and all randomness flows through
+  named, seeded streams (:mod:`repro.sim.rand`).  The same seed always
+  reproduces the same trace, which the test suite relies on.
+* **Two programming models** — callback-style event handlers (used by the
+  protocol state machines) and generator-based processes
+  (:mod:`repro.sim.process`, used by workload scripts).
+* **Observability** — a structured trace bus (:mod:`repro.sim.trace`)
+  that metrics collectors subscribe to.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator(seed=42)
+>>> fired = []
+>>> sim.schedule(5.0, lambda: fired.append(sim.now))
+<repro.sim.engine.Event ...>
+>>> sim.run()
+>>> fired
+[5.0]
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.process import Process, Timeout, WaitSignal, Signal
+from repro.sim.timers import Timer, PeriodicTimer
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceBus, TraceRecord
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Timeout",
+    "WaitSignal",
+    "Signal",
+    "Timer",
+    "PeriodicTimer",
+    "RandomStreams",
+    "TraceBus",
+    "TraceRecord",
+]

@@ -1,0 +1,123 @@
+"""Generator-based processes on top of the event engine.
+
+Workload scripts (sources, churn drivers, mobility scripts) read more
+naturally as sequential code than as callback chains.  A :class:`Process`
+wraps a generator that yields *directives*:
+
+* ``Timeout(d)`` — sleep ``d`` simulated time units.
+* ``WaitSignal(sig)`` — block until ``sig.fire()`` is called; the value
+  passed to ``fire`` becomes the value of the ``yield`` expression.
+
+Example
+-------
+>>> def script(sim):
+...     yield Timeout(1.0)
+...     print("t =", sim.now)
+>>> sim = Simulator()
+>>> Process(sim, script(sim))
+<Process ...>
+>>> sim.run()
+t = 1.0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Union
+
+from repro.sim.engine import Simulator
+
+
+class Timeout:
+    """Directive: suspend the process for ``delay`` units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+
+
+class Signal:
+    """A broadcast wake-up point for processes.
+
+    ``fire(value)`` resumes every currently waiting process with ``value``
+    as the result of its ``yield WaitSignal(sig)`` expression.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fired_count = 0
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiters (they resume as separate scheduled events)."""
+        self.fired_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume_soon(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class WaitSignal:
+    """Directive: suspend until the given :class:`Signal` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal):
+        self.signal = signal
+
+
+Directive = Union[Timeout, WaitSignal]
+
+
+class Process:
+    """Drives a generator through the simulator.
+
+    The generator is started immediately (its code up to the first yield
+    runs synchronously at construction time's scheduling step) by
+    scheduling a zero-delay kick-off event.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator[Directive, Any, Any], name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.result: Optional[Any] = None
+        self.done_signal = Signal(f"{self.name}.done")
+        sim.schedule(0.0, self._advance, None)
+
+    def _resume_soon(self, value: Any) -> None:
+        self.sim.schedule(0.0, self._advance, value)
+
+    def _advance(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            directive = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done_signal.fire(stop.value)
+            return
+        if isinstance(directive, Timeout):
+            self.sim.schedule(directive.delay, self._advance, None)
+        elif isinstance(directive, WaitSignal):
+            directive.signal._waiters.append(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {directive!r}; expected "
+                "Timeout or WaitSignal"
+            )
+
+    def interrupt(self) -> None:
+        """Kill the process; it never resumes and its generator is closed."""
+        self.alive = False
+        self.gen.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"

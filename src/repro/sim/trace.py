@@ -1,0 +1,89 @@
+"""Structured trace bus.
+
+Protocol code emits semantic records (``kind`` + attribute dict); metric
+collectors subscribe by kind.  The bus is intentionally dumb and fast:
+no records are retained unless a subscriber (or the ``record=True`` debug
+mode) asks for them, so tracing costs almost nothing in benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One semantic event: e.g. ``kind='deliver'``, attrs for details."""
+
+    time: float
+    kind: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Publish/subscribe hub for :class:`TraceRecord` instances.
+
+    Parameters
+    ----------
+    record:
+        When True, every emitted record is appended to :attr:`records`
+        (useful in tests; avoid in long benchmark runs).
+    """
+
+    def __init__(self, record: bool = False):
+        self._subs_by_kind: Dict[str, List[Subscriber]] = {}
+        self._subs_all: List[Subscriber] = []
+        self.record = record
+        self.records: List[TraceRecord] = []
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def subscribe(self, kind: Optional[str], fn: Subscriber) -> None:
+        """Subscribe ``fn`` to records of ``kind`` (None = all kinds)."""
+        if kind is None:
+            self._subs_all.append(fn)
+        else:
+            self._subs_by_kind.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, kind: Optional[str], fn: Subscriber) -> None:
+        """Remove a subscription added with :meth:`subscribe`."""
+        if kind is None:
+            self._subs_all.remove(fn)
+        else:
+            self._subs_by_kind[kind].remove(fn)
+
+    # ------------------------------------------------------------------
+    def emit(self, time: float, kind: str, **attrs: Any) -> None:
+        """Publish a record; cheap when nobody listens."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        subs = self._subs_by_kind.get(kind)
+        if subs is None and not self._subs_all and not self.record:
+            return
+        rec = TraceRecord(time, kind, attrs)
+        if self.record:
+            self.records.append(rec)
+        if subs:
+            for fn in subs:
+                fn(rec)
+        for fn in self._subs_all:
+            fn(rec)
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """Recorded records of one kind (requires ``record=True``)."""
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        """Forget recorded records and counters (subscriptions persist)."""
+        self.records.clear()
+        self.counts.clear()

@@ -1,0 +1,23 @@
+"""Workload construction: traffic, churn, and canned scenarios.
+
+* :mod:`repro.workloads.generators` — source fleets (uniform /
+  heterogeneous rates, CBR / Poisson) attached round-robin to the top
+  ring, the shape §5 analyzes (s sources × λ msg/s each).
+* :mod:`repro.workloads.churn` — join/leave churn scripts driving MH
+  membership over time.
+* :mod:`repro.workloads.scenarios` — end-to-end scenario builders used
+  by the examples and benchmarks (conference, campus, stress).
+"""
+
+from repro.workloads.generators import SourceFleet, uniform_sources
+from repro.workloads.churn import ChurnDriver
+from repro.workloads.scenarios import Scenario, conference_scenario, campus_scenario
+
+__all__ = [
+    "SourceFleet",
+    "uniform_sources",
+    "ChurnDriver",
+    "Scenario",
+    "conference_scenario",
+    "campus_scenario",
+]

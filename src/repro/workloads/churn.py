@@ -1,0 +1,68 @@
+"""Membership churn: scripted joins and leaves over a run (E5)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.address import NodeId, make_id
+
+
+class ChurnDriver:
+    """Drives MH join/leave churn against a RingNet-like facade.
+
+    At exponential intervals (mean ``mean_interval_ms``) the driver
+    flips a fair coin: join a new MH at a random AP, or make a random
+    current member leave.  A floor of ``min_members`` members is kept so
+    the group never empties.
+    """
+
+    def __init__(self, net, aps: Sequence[NodeId],
+                 mean_interval_ms: float = 500.0, min_members: int = 1,
+                 rng_name: str = "churn"):
+        if mean_interval_ms <= 0:
+            raise ValueError("mean_interval_ms must be positive")
+        self.net = net
+        self.sim = net.sim
+        self.aps = list(aps)
+        self.mean_interval_ms = mean_interval_ms
+        self.min_members = min_members
+        self.rng = self.sim.rng(rng_name)
+        self._next_id = 0
+        self.joins = 0
+        self.leaves = 0
+        self.log: List[Tuple[float, str, NodeId]] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the churn process."""
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        """Stop generating further churn."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _schedule(self) -> None:
+        self.sim.schedule(float(self.rng.exponential(self.mean_interval_ms)),
+                          self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        members = self.net.member_hosts()
+        do_join = (len(members) <= self.min_members
+                   or self.rng.random() < 0.5)
+        if do_join:
+            ap = self.aps[int(self.rng.integers(len(self.aps)))]
+            mh_id = make_id("churn-mh", self._next_id)
+            self._next_id += 1
+            self.net.add_mobile_host(mh_id, ap)
+            self.joins += 1
+            self.log.append((self.sim.now, "join", mh_id))
+        else:
+            victim = members[int(self.rng.integers(len(members)))]
+            victim.leave()
+            self.leaves += 1
+            self.log.append((self.sim.now, "leave", victim.guid))
+        self._schedule()

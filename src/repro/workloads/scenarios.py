@@ -1,0 +1,100 @@
+"""Canned end-to-end scenarios for examples and benchmarks.
+
+Each builder returns a :class:`Scenario` bundling the simulator, the
+protocol instance, the traffic fleet, and (optionally) mobility — ready
+to ``run()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import RingNet
+from repro.mobility.cells import CellGrid
+from repro.mobility.handoff import HandoffDriver
+from repro.mobility.models import MobilityModel, RandomWalk
+from repro.sim.engine import Simulator
+from repro.topology.builder import HierarchySpec
+from repro.topology.tiers import Tier
+from repro.workloads.generators import SourceFleet, uniform_sources
+
+
+@dataclass
+class Scenario:
+    """A runnable bundle: simulator + protocol + workload + mobility."""
+
+    sim: Simulator
+    net: RingNet
+    fleet: SourceFleet
+    grid: Optional[CellGrid] = None
+    mobility: Optional[HandoffDriver] = None
+    duration_ms: float = 10_000.0
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Start everything and run to ``until`` (or the duration)."""
+        self.net.start()
+        self.fleet.start(stagger=3.0)
+        if self.mobility is not None:
+            for mh_id, mh in self.net.mobile_hosts.items():
+                if mh.ap is not None:
+                    self.mobility.track(mh_id, mh.ap)
+        self.sim.run(until=until if until is not None else self.duration_ms)
+
+
+def conference_scenario(
+    seed: int = 1,
+    n_br: int = 3,
+    ags_per_br: int = 2,
+    aps_per_ag: int = 2,
+    mhs_per_ap: int = 3,
+    s: int = 2,
+    rate_per_sec: float = 20.0,
+    cfg: Optional[ProtocolConfig] = None,
+    duration_ms: float = 10_000.0,
+) -> Scenario:
+    """Video-conference-like: a few steady senders, static audience.
+
+    This is the §1 motivating workload ("video conferencing, distance
+    learning"): low sender count, every member must see the same totally
+    ordered stream.
+    """
+    sim = Simulator(seed=seed)
+    spec = HierarchySpec(n_br=n_br, ags_per_br=ags_per_br,
+                         aps_per_ag=aps_per_ag, mhs_per_ap=mhs_per_ap)
+    net = RingNet.build(sim, spec, cfg=cfg)
+    fleet = uniform_sources(net, s=s, rate_per_sec=rate_per_sec)
+    return Scenario(sim=sim, net=net, fleet=fleet, duration_ms=duration_ms)
+
+
+def campus_scenario(
+    seed: int = 1,
+    n_br: int = 3,
+    ags_per_br: int = 3,
+    aps_per_ag: int = 3,
+    mhs_per_ap: int = 2,
+    s: int = 2,
+    rate_per_sec: float = 10.0,
+    mean_dwell_ms: float = 2000.0,
+    model: Optional[MobilityModel] = None,
+    cfg: Optional[ProtocolConfig] = None,
+    duration_ms: float = 15_000.0,
+) -> Scenario:
+    """Campus roaming: the same conference traffic plus cell mobility.
+
+    All APs form one grid; MHs random-walk across it, handing off on
+    every cell crossing — the paper's "frequent handoff" regime when
+    ``mean_dwell_ms`` is small.
+    """
+    sim = Simulator(seed=seed)
+    spec = HierarchySpec(n_br=n_br, ags_per_br=ags_per_br,
+                         aps_per_ag=aps_per_ag, mhs_per_ap=mhs_per_ap)
+    net = RingNet.build(sim, spec, cfg=cfg)
+    fleet = uniform_sources(net, s=s, rate_per_sec=rate_per_sec)
+    aps = net.hierarchy.nodes_of_tier(Tier.AP)
+    grid = CellGrid.square_for(aps)
+    mobility = HandoffDriver(net, grid,
+                             model or RandomWalk(mean_dwell_ms=mean_dwell_ms))
+    return Scenario(sim=sim, net=net, fleet=fleet, grid=grid,
+                    mobility=mobility, duration_ms=duration_ms)

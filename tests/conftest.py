@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.link import LinkSpec
+from repro.net.message import Message
+from repro.net.node import NetNode
+from repro.net.transport import ReliableChannel
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def fabric(sim: Simulator) -> Fabric:
+    """A fabric with a permissive default link (tests may override)."""
+    return Fabric(sim, default_spec=LinkSpec(latency=1.0))
+
+
+class Ping(Message):
+    """Tiny payload message for transport-level tests."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int = 0):
+        self.n = n
+
+
+class Recorder(NetNode):
+    """A node that records every raw message it receives."""
+
+    def __init__(self, fabric: Fabric, node_id: str):
+        super().__init__(fabric, node_id)
+        self.received: list[Message] = []
+
+    def on_message(self, msg: Message) -> None:
+        self.received.append(msg)
+
+
+class ReliableRecorder(NetNode):
+    """A node with a reliable channel that records accepted payloads."""
+
+    def __init__(self, fabric: Fabric, node_id: str, rto: float = 10.0,
+                 max_retries: int = 5):
+        super().__init__(fabric, node_id)
+        self.gave_up: list = []
+        self.acked: list = []
+        self.chan = ReliableChannel(
+            self, rto=rto, max_retries=max_retries,
+            on_give_up=lambda dst, p: self.gave_up.append((dst, p)),
+            on_ack=lambda dst, p: self.acked.append((dst, p)),
+        )
+        self.payloads: list[Message] = []
+
+    def on_message(self, msg: Message) -> None:
+        payload = self.chan.accept(msg)
+        if payload is not None:
+            self.payloads.append(payload)

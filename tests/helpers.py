@@ -1,0 +1,50 @@
+"""Scenario helpers shared by protocol-level tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import RingNet
+from repro.metrics.order_checker import OrderChecker
+from repro.sim.engine import Simulator
+from repro.topology.builder import HierarchySpec
+
+
+def small_net(
+    seed: int = 1,
+    n_br: int = 3,
+    ags_per_br: int = 2,
+    aps_per_ag: int = 2,
+    mhs_per_ap: int = 1,
+    cfg: Optional[ProtocolConfig] = None,
+) -> Tuple[Simulator, RingNet]:
+    """A compact RingNet instance ready to start."""
+    sim = Simulator(seed=seed)
+    spec = HierarchySpec(n_br=n_br, ags_per_br=ags_per_br,
+                         aps_per_ag=aps_per_ag, mhs_per_ap=mhs_per_ap)
+    net = RingNet.build(sim, spec, cfg=cfg)
+    return sim, net
+
+
+def run_with_traffic(
+    seed: int = 1,
+    n_sources: int = 1,
+    rate: float = 20.0,
+    until: float = 5_000.0,
+    check_order: bool = True,
+    **net_kw,
+) -> Tuple[Simulator, RingNet, Optional[OrderChecker]]:
+    """Build, start, attach sources, run, and (optionally) verify order."""
+    sim, net = small_net(seed=seed, **net_kw)
+    checker = OrderChecker(sim.trace) if check_order else None
+    top = net.hierarchy.top_ring.members
+    sources = [net.add_source(corresponding=top[i % len(top)], rate_per_sec=rate)
+               for i in range(n_sources)]
+    net.start()
+    for s in sources:
+        s.start()
+    sim.run(until=until)
+    if checker is not None:
+        checker.assert_ok()
+    return sim, net, checker

@@ -1,0 +1,92 @@
+"""Tests for the retransmission analysis (the paper's future work)."""
+
+import pytest
+
+from repro.analysis.retransmission import RetransmissionModel
+
+
+def test_lossless_is_free():
+    m = RetransmissionModel(loss_prob=0.0, rto=20.0, max_retries=5)
+    assert m.delivery_probability == 1.0
+    assert m.expected_attempts == 1.0
+    assert m.expected_extra_latency == 0.0
+    assert m.expected_retransmissions == 0.0
+
+
+def test_delivery_probability_formula():
+    m = RetransmissionModel(loss_prob=0.5, rto=20.0, max_retries=3)
+    assert m.delivery_probability == pytest.approx(1 - 0.5 ** 4)
+
+
+def test_zero_retries_delivery_is_one_shot():
+    m = RetransmissionModel(loss_prob=0.3, rto=20.0, max_retries=0)
+    assert m.delivery_probability == pytest.approx(0.7)
+    assert m.expected_attempts == pytest.approx(1.0)
+
+
+def test_expected_attempts_accounts_for_ack_loss():
+    # Symmetric 10% loss: round-trip success 0.81; for large k the mean
+    # attempts approach 1/0.81.
+    m = RetransmissionModel(loss_prob=0.1, rto=20.0, max_retries=50)
+    assert m.expected_attempts == pytest.approx(1 / 0.81, rel=1e-3)
+
+
+def test_asymmetric_ack_loss():
+    m = RetransmissionModel(loss_prob=0.2, rto=10.0, max_retries=10,
+                            ack_loss_prob=0.0)
+    assert m.round_trip_success == pytest.approx(0.8)
+    # With perfect acks, attempts follow the data-loss geometric.
+    assert m.expected_attempts == pytest.approx(
+        (1 - 0.2 ** 11) / 0.8, rel=1e-6)
+
+
+def test_extra_latency_monotone_in_loss():
+    lats = [RetransmissionModel(p, 20.0, 5).expected_extra_latency
+            for p in (0.05, 0.2, 0.5)]
+    assert lats[0] < lats[1] < lats[2]
+
+
+def test_max_extra_latency():
+    m = RetransmissionModel(loss_prob=0.3, rto=25.0, max_retries=4)
+    assert m.max_extra_latency == 100.0
+
+
+def test_inflated_latency_bound_additive():
+    m = RetransmissionModel(loss_prob=0.3, rto=10.0, max_retries=2)
+    assert m.inflated_latency_bound(100.0, lossy_hops=3) == 100.0 + 3 * 20.0
+
+
+def test_end_to_end_delivery_compounds():
+    m = RetransmissionModel(loss_prob=0.5, rto=10.0, max_retries=1)
+    per_hop = m.delivery_probability
+    assert m.end_to_end_delivery_probability(3) == pytest.approx(per_hop ** 3)
+    with pytest.raises(ValueError):
+        m.end_to_end_delivery_probability(0)
+
+
+def test_buffer_inflation_factor():
+    m = RetransmissionModel(loss_prob=0.0, rto=10.0, max_retries=5)
+    assert m.buffer_inflation_factor(10.0) == 1.0
+    m2 = RetransmissionModel(loss_prob=0.5, rto=10.0, max_retries=5)
+    assert m2.buffer_inflation_factor(10.0) > 1.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetransmissionModel(loss_prob=1.0, rto=10.0, max_retries=1)
+    with pytest.raises(ValueError):
+        RetransmissionModel(loss_prob=0.1, rto=0.0, max_retries=1)
+    with pytest.raises(ValueError):
+        RetransmissionModel(loss_prob=0.1, rto=10.0, max_retries=-1)
+    with pytest.raises(ValueError):
+        RetransmissionModel(loss_prob=0.1, rto=10.0, max_retries=1,
+                            ack_loss_prob=1.5)
+    with pytest.raises(ValueError):
+        RetransmissionModel(loss_prob=0.1, rto=10.0,
+                            max_retries=1).buffer_inflation_factor(0.0)
+
+
+def test_rows_shape():
+    row = RetransmissionModel(0.2, 20.0, 3).rows()
+    assert {"p", "retries", "P(deliver)", "E[attempts]",
+            "E[extra] (ms)", "max extra (ms)"} == set(row)

@@ -1,0 +1,38 @@
+"""Unit tests for protocol configuration validation."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+
+
+def test_defaults_valid():
+    cfg = ProtocolConfig()
+    assert cfg.tau > 0
+    assert cfg.delivery_window >= 1
+    assert cfg.gid
+
+
+def test_frozen():
+    cfg = ProtocolConfig()
+    with pytest.raises(Exception):
+        cfg.tau = 1.0  # type: ignore[misc]
+
+
+@pytest.mark.parametrize("field,value", [
+    ("tau", 0.0),
+    ("tau", -1.0),
+    ("token_hold_time", -0.1),
+    ("delivery_window", 0),
+    ("mq_retention", -1),
+])
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ValueError):
+        ProtocolConfig(**{field: value})
+
+
+def test_custom_values_kept():
+    cfg = ProtocolConfig(tau=2.0, token_hold_time=0.1, delivery_window=4,
+                         mq_retention=10, gap_timeout=30.0)
+    assert cfg.tau == 2.0
+    assert cfg.delivery_window == 4
+    assert cfg.gap_timeout == 30.0

@@ -1,0 +1,130 @@
+"""Tests for dynamic-path mode (§3 path building) and cold-AP handling."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.datastructures import MessageQueue, BufferedMessage
+from repro.metrics.order_checker import OrderChecker
+from repro.topology.tiers import Tier
+
+from helpers import small_net
+
+
+def dyn_cfg(**kw) -> ProtocolConfig:
+    return ProtocolConfig(static_ap_paths=False, **kw)
+
+
+# ---------------------------------------------------------------------------
+# MessageQueue.anchor
+# ---------------------------------------------------------------------------
+def test_anchor_rebases_empty_queue():
+    mq = MessageQueue()
+    mq.anchor(100)
+    assert mq.front == 99 and mq.valid_front == 100 and mq.rear == 99
+    assert mq.insert(BufferedMessage(global_seq=100, source="s", local_seq=0,
+                                     ordering_node="n"))
+    assert not mq.insert(BufferedMessage(global_seq=50, source="s",
+                                         local_seq=0, ordering_node="n"))
+
+
+def test_anchor_rejects_nonempty_queue():
+    mq = MessageQueue()
+    mq.insert(BufferedMessage(global_seq=0, source="s", local_seq=0,
+                              ordering_node="n"))
+    with pytest.raises(ValueError):
+        mq.anchor(10)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-path mode behaviour
+# ---------------------------------------------------------------------------
+def test_aps_start_cold_in_dynamic_mode():
+    sim, net = small_net(mhs_per_ap=0, cfg=dyn_cfg())
+    src = net.add_source(rate_per_sec=30)
+    net.start()
+    src.start()
+    sim.run(until=2_000)
+    aps = [net.nes[a] for a in net.hierarchy.nodes_of_tier(Tier.AP)]
+    # No members anywhere: no AP receives the stream.
+    assert all(not ap.path_established for ap in aps)
+    assert all(ap.mq.occupancy == 0 for ap in aps)
+
+
+def test_member_pulls_ap_into_delivery_tree():
+    sim, net = small_net(mhs_per_ap=0, cfg=dyn_cfg())
+    src = net.add_source(rate_per_sec=30)
+    net.start()
+    src.start()
+    sim.run(until=1_000)
+    mh = net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=3_000)
+    ap = net.nes["ap:0.0.0"]
+    assert ap.path_established
+    assert mh.is_member
+    assert mh.delivered_count > 0
+
+
+def test_deferred_join_base_matches_first_stream_message():
+    sim, net = small_net(mhs_per_ap=0, cfg=dyn_cfg())
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    sim.run(until=2_000)  # ~40 messages flowed before the member exists
+    mh = net.add_mobile_host("mh:late", "ap:1.0.0")
+    sim.run(until=5_000)
+    seqs = mh.delivered_seqs()
+    assert seqs, "deferred join never completed"
+    assert seqs[0] > 10  # started near the live stream, not from 0
+    assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+
+
+def test_cold_ap_anchors_instead_of_gap_chasing():
+    sim, net = small_net(mhs_per_ap=0, cfg=dyn_cfg())
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    sim.run(until=2_000)
+    net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=4_000)
+    ap = net.nes["ap:0.0.0"]
+    # The AP never requested ancient history: its queue starts at the
+    # anchored sequence, and no gap requests were issued for 0..anchor.
+    assert ap.mq.valid_front > 10
+    assert ap.gaps_requested == 0
+
+
+def test_order_holds_under_dynamic_mode_with_mobility():
+    from repro.mobility.cells import CellGrid
+    from repro.mobility.handoff import HandoffDriver
+    from repro.mobility.models import RandomWalk
+    sim, net = small_net(mhs_per_ap=0, cfg=dyn_cfg(), seed=19,
+                         aps_per_ag=3)
+    checker = OrderChecker(sim.trace)
+    src = net.add_source(rate_per_sec=25)
+    net.start()
+    src.start()
+    aps = net.hierarchy.nodes_of_tier(Tier.AP)
+    for i in range(4):
+        net.add_mobile_host(f"mh:{i}", aps[i % len(aps)])
+    grid = CellGrid.square_for(aps)
+    driver = HandoffDriver(net, grid, RandomWalk(mean_dwell_ms=600.0))
+    for i in range(4):
+        driver.track(f"mh:{i}", aps[i % len(aps)])
+    sim.run(until=8_000)
+    checker.assert_ok()
+    assert driver.handoffs_driven > 5
+
+
+def test_last_member_leaving_demotes_path_to_standby():
+    cfg = dyn_cfg(reservation_ttl=400.0, smooth_handoff=False)
+    sim, net = small_net(mhs_per_ap=0, cfg=cfg)
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    mh = net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=1_000)
+    ag = net.nes["ag:0.0"]
+    assert ag.has_child("ap:0.0.0")
+    mh.leave()
+    sim.run(until=3_000)  # standby reservation expires
+    assert not ag.has_child("ap:0.0.0")

@@ -1,0 +1,141 @@
+"""Tests for MMA tables and smooth-handoff path reservation (§3)."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.mma import MMATable
+
+from helpers import small_net
+
+
+# ---------------------------------------------------------------------------
+# MMATable unit tests
+# ---------------------------------------------------------------------------
+def test_reserve_creates_standby_entry():
+    t = MMATable()
+    e = t.reserve("g", "ap:1", now=10.0)
+    assert e.standby
+    assert t.has("g", "ap:1")
+    assert t.reservations == 1
+
+
+def test_reserve_refreshes_existing():
+    t = MMATable()
+    t.reserve("g", "ap:1", now=10.0)
+    e = t.reserve("g", "ap:1", now=20.0)
+    assert e.refreshed_at == 20.0
+    assert t.reservations == 1  # no duplicate
+
+
+def test_activate_promotes():
+    t = MMATable()
+    t.reserve("g", "ap:1", now=0.0)
+    e = t.activate("g", "ap:1", now=5.0)
+    assert not e.standby
+    assert t.activations == 1
+
+
+def test_activate_unseen_ap_creates_active():
+    t = MMATable()
+    e = t.activate("g", "ap:2", now=0.0)
+    assert not e.standby
+
+
+def test_deactivate_demotes():
+    t = MMATable()
+    t.activate("g", "ap:1", now=0.0)
+    t.deactivate("g", "ap:1", now=1.0)
+    assert t.lookup("g")[0].standby
+
+
+def test_multiple_entries_per_group():
+    t = MMATable()
+    t.reserve("g", "ap:1", now=0.0)
+    t.reserve("g", "ap:2", now=0.0)
+    assert len(t.lookup("g")) == 2
+
+
+def test_expire_standby_only():
+    t = MMATable()
+    t.reserve("g", "ap:old", now=0.0)
+    t.activate("g", "ap:live", now=0.0)
+    dead = t.expire_standby(now=1_000.0, ttl=500.0)
+    assert [e.ap for e in dead] == ["ap:old"]
+    assert t.has("g", "ap:live")
+    assert not t.has("g", "ap:old")
+    assert t.expirations == 1
+
+
+def test_expire_respects_refresh():
+    t = MMATable()
+    t.reserve("g", "ap:1", now=0.0)
+    t.reserve("g", "ap:1", now=900.0)  # refresh
+    dead = t.expire_standby(now=1_000.0, ttl=500.0)
+    assert dead == []
+
+
+# ---------------------------------------------------------------------------
+# Integration: smooth handoff through reservations
+# ---------------------------------------------------------------------------
+def test_member_registration_activates_path_at_ag():
+    sim, net = small_net(mhs_per_ap=1)
+    net.start()
+    sim.run(until=1_000)
+    ag = net.nes["ag:0.0"]
+    assert len(ag.mma.lookup(net.cfg.gid)) >= 1
+    assert any(not e.standby for e in ag.mma.lookup(net.cfg.gid))
+
+
+def test_neighbor_notify_reserves_sibling_paths():
+    cfg = ProtocolConfig(smooth_handoff=True)
+    sim, net = small_net(mhs_per_ap=0, cfg=cfg, aps_per_ag=3)
+    net.start()
+    net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=1_000)
+    ag = net.nes["ag:0.0"]
+    entries = ag.mma.lookup(cfg.gid)
+    aps = {e.ap for e in entries}
+    # The member AP is active; its siblings hold standby reservations.
+    assert "ap:0.0.0" in aps
+    assert {"ap:0.0.1", "ap:0.0.2"} <= aps
+    standby = {e.ap for e in entries if e.standby}
+    assert {"ap:0.0.1", "ap:0.0.2"} <= standby
+
+
+def test_no_reservations_when_smooth_handoff_disabled():
+    cfg = ProtocolConfig(smooth_handoff=False)
+    sim, net = small_net(mhs_per_ap=0, cfg=cfg, aps_per_ag=3)
+    net.start()
+    net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=1_000)
+    ag = net.nes["ag:0.0"]
+    aps = {e.ap for e in ag.mma.lookup(cfg.gid)}
+    assert aps == {"ap:0.0.0"}
+
+
+def test_reservation_expires_and_delivery_stops():
+    cfg = ProtocolConfig(smooth_handoff=True, reservation_ttl=300.0)
+    sim, net = small_net(mhs_per_ap=0, cfg=cfg, aps_per_ag=2)
+    src = net.add_source(rate_per_sec=10)
+    net.start()
+    src.start()
+    net.add_mobile_host("mh:x", "ap:0.0.0")
+    ag = net.nes["ag:0.0"]
+    sim.run(until=200)  # within the TTL
+    assert ag.has_child("ap:0.0.1")  # reserved sibling receives
+    assert ag.mma.has(cfg.gid, "ap:0.0.1")
+    # No MH ever arrives at the sibling: reservation must expire.
+    sim.run(until=4_000)
+    assert not ag.has_child("ap:0.0.1")
+    assert not ag.mma.has(cfg.gid, "ap:0.0.1")
+
+
+def test_reserved_sibling_is_warm_for_handoff():
+    cfg = ProtocolConfig(smooth_handoff=True)
+    sim, net = small_net(mhs_per_ap=0, cfg=cfg, aps_per_ag=2)
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=2_000)
+    warm_ap = net.nes["ap:0.0.1"]
+    # The sibling has been receiving the stream without any member.
+    assert warm_ap.mq.rear > 0

@@ -1,0 +1,117 @@
+"""Tests for the MH endpoint: join, deliver, handoff, leave, gap fill."""
+
+from repro.core.config import ProtocolConfig
+
+from helpers import run_with_traffic, small_net
+
+
+def test_join_receives_join_ack_and_membership():
+    sim, net = small_net(mhs_per_ap=0)
+    net.start()
+    mh = net.add_mobile_host("mh:x", "ap:0.0.0")
+    sim.run(until=500)
+    assert mh.is_member
+
+
+def test_late_joiner_starts_after_join_point():
+    sim, net = small_net(mhs_per_ap=1)
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    sim.run(until=2_000)
+    late = net.add_mobile_host("mh:late", "ap:0.0.0")
+    sim.run(until=5_000)
+    seqs = late.delivered_seqs()
+    assert seqs, "late joiner never delivered"
+    assert seqs[0] > 0  # does not replay history from seq 0
+    assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+
+
+def test_handoff_preserves_continuity():
+    sim, net = small_net(mhs_per_ap=1)
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    sim.schedule_at(1_500, lambda: net.handoff("mh:0.0.0.0", "ap:1.1.1"))
+    sim.run(until=4_000)
+    src.stop()
+    sim.run(until=7_000)
+    mover = net.mobile_hosts["mh:0.0.0.0"]
+    assert mover.handoffs == 1
+    seqs = mover.delivered_seqs()
+    # No duplicates, no skips (zero tombstones expected on a warm path).
+    assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+    assert mover.tombstones == 0
+    # Delivered the same count as a non-moving peer.
+    peer = net.mobile_hosts["mh:2.1.1.0"]
+    assert abs(mover.delivered_count - peer.delivered_count) <= 1
+
+
+def test_multiple_rapid_handoffs():
+    sim, net = small_net(mhs_per_ap=1, seed=5)
+    src = net.add_source(rate_per_sec=25)
+    net.start()
+    src.start()
+    aps = ["ap:0.0.1", "ap:1.0.0", "ap:2.1.0", "ap:0.1.1"]
+    for i, ap in enumerate(aps):
+        sim.schedule_at(1_000 + 400 * i, net.handoff, "mh:0.0.0.0", ap)
+    sim.run(until=5_000)
+    src.stop()
+    sim.run(until=9_000)
+    mover = net.mobile_hosts["mh:0.0.0.0"]
+    assert mover.handoffs == len(aps)
+    seqs = mover.delivered_seqs()
+    assert seqs == sorted(set(seqs))  # strict order, no dups
+
+
+def test_leave_stops_app_delivery():
+    sim, net = small_net(mhs_per_ap=1)
+    src = net.add_source(rate_per_sec=20)
+    net.start()
+    src.start()
+    sim.run(until=1_500)
+    mh = net.member_hosts()[0]
+    mh.leave()
+    n = mh.delivered_count
+    sim.run(until=4_000)
+    assert mh.delivered_count <= n + 2
+
+
+def test_mh_keeps_no_history():
+    sim, net, _ = run_with_traffic(rate=30, until=4_000, check_order=False)
+    for m in net.member_hosts():
+        # Delivered messages are pruned immediately (resource constraint).
+        assert m.mq.occupancy <= 5
+
+
+def test_latency_recorded_per_delivery():
+    sim, net, _ = run_with_traffic(rate=20, until=3_000, check_order=False)
+    mh = net.member_hosts()[0]
+    assert mh.app_log
+    assert all(lat > 0 for _, _, lat in mh.app_log)
+
+
+def test_handoff_after_long_detour_tombstones_unservable_range():
+    # Tiny retention: after the MH is away long enough, the new AP cannot
+    # serve the full catch-up range and the MH tombstones it (documented
+    # best-effort behaviour).
+    cfg = ProtocolConfig(mq_retention=4, smooth_handoff=False)
+    sim, net = small_net(mhs_per_ap=1, cfg=cfg, seed=3)
+    src = net.add_source(rate_per_sec=50)
+    net.start()
+    src.start()
+    mh = net.mobile_hosts["mh:0.0.0.0"]
+
+    def detach_quietly():
+        # Simulate a long disconnection: detach without re-registering.
+        mh.chan.send(mh.ap, __import__("repro.core.messages",
+                                       fromlist=["Detach"]).Detach(cfg.gid, mh.guid))
+    sim.schedule_at(1_000, detach_quietly)
+    sim.schedule_at(3_000, lambda: net.handoff("mh:0.0.0.0", "ap:1.0.0"))
+    sim.run(until=6_000)
+    src.stop()
+    sim.run(until=10_000)
+    assert mh.tombstones > 0
+    # And delivery still proceeds after the tombstoned range.
+    seqs = mh.delivered_seqs()
+    assert seqs and seqs[-1] > 100

@@ -1,0 +1,95 @@
+"""Unit tests for the OrderingToken / WTSNP (paper §4.1)."""
+
+import pytest
+
+from repro.core.token import OrderingToken, WTSNPEntry
+
+
+def test_assign_allocates_contiguous_globals():
+    t = OrderingToken(gid="g")
+    e = t.assign("src:0", "br:0", 0, 4)
+    assert (e.min_global, e.max_global) == (0, 4)
+    assert t.next_global_seq == 5
+    e2 = t.assign("src:1", "br:1", 0, 2)
+    assert (e2.min_global, e2.max_global) == (5, 7)
+    assert t.next_global_seq == 8
+
+
+def test_assign_empty_run_rejected():
+    t = OrderingToken(gid="g")
+    with pytest.raises(ValueError):
+        t.assign("s", "n", 5, 4)
+
+
+def test_assign_single_message_run():
+    t = OrderingToken(gid="g")
+    e = t.assign("s", "n", 7, 7)
+    assert e.count == 1
+    assert e.global_for(7) == 0
+
+
+def test_entry_covers_and_maps():
+    e = WTSNPEntry("src:0", 10, 19, "br:0", 100, 109)
+    assert e.covers("br:0", 10) and e.covers("br:0", 19)
+    assert not e.covers("br:0", 9)
+    assert not e.covers("br:0", 20)
+    assert not e.covers("br:1", 15)
+    assert e.global_for(13) == 103
+
+
+def test_lookup_finds_covering_entry():
+    t = OrderingToken(gid="g")
+    t.assign("s0", "br:0", 0, 9)
+    t.assign("s1", "br:1", 0, 9)
+    e = t.lookup("br:1", 5)
+    assert e is not None and e.global_for(5) == 15
+    assert t.lookup("br:2", 0) is None
+
+
+def test_age_decrements_and_prunes():
+    t = OrderingToken(gid="g")
+    t.assign("s", "n", 0, 0, ttl_hops=2)
+    t.age()
+    assert len(t) == 1
+    t.age()
+    assert len(t) == 0
+    assert t.hops == 2
+
+
+def test_age_keeps_fresh_entries():
+    t = OrderingToken(gid="g")
+    t.assign("s", "n", 0, 0, ttl_hops=1)
+    t.assign("s", "n", 1, 1, ttl_hops=10)
+    t.age()
+    assert len(t) == 1
+    assert t.wtsnp[0].min_local == 1
+
+
+def test_snapshot_is_deep_copy():
+    t = OrderingToken(gid="g")
+    t.assign("s", "n", 0, 5)
+    snap = t.snapshot()
+    t.assign("s", "n", 6, 9)
+    assert len(snap) == 1 and len(t) == 2
+    snap.wtsnp[0].min_local = 99
+    assert t.wtsnp[0].min_local == 0
+
+
+def test_entries_by_node_groups():
+    t = OrderingToken(gid="g")
+    t.assign("s0", "br:0", 0, 1)
+    t.assign("s1", "br:1", 0, 1)
+    t.assign("s0", "br:0", 2, 3)
+    by = t.entries_by_node
+    assert len(by["br:0"]) == 2 and len(by["br:1"]) == 1
+
+
+def test_global_seq_never_reused_within_token():
+    t = OrderingToken(gid="g")
+    seen = set()
+    for i in range(20):
+        e = t.assign("s", "n", i * 3, i * 3 + 2)
+        for g in range(e.min_global, e.max_global + 1):
+            assert g not in seen
+            seen.add(g)
+    assert seen == set(range(60))

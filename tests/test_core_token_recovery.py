@@ -1,0 +1,109 @@
+"""Tests for Token-Regeneration and Multiple-Token resolution (§4.2.1)."""
+
+from repro.metrics.order_checker import OrderChecker
+
+from helpers import small_net
+
+
+def run_crash_scenario(seed: int, victim: str, crash_at: float = 2_000.0,
+                       until: float = 12_000.0):
+    sim, net = small_net(seed=seed, n_br=4)
+    checker = OrderChecker(sim.trace)
+    src = net.add_source(corresponding="br:1", rate_per_sec=20)
+    net.start()
+    src.start()
+    sim.schedule_at(crash_at, lambda: net.crash_ne(victim))
+    sim.run(until=until)
+    src.stop()
+    sim.run(until=until + 4_000)
+    return sim, net, src, checker
+
+
+def test_crash_non_corresponding_node_recovers():
+    sim, net, src, checker = run_crash_scenario(seed=1, victim="br:3")
+    checker.assert_ok()
+    regens = sum(ne.tokens_regenerated for ne in net.nes.values())
+    assert regens == 1  # exactly one token regenerated
+    # Ordering continued: surviving MHs keep delivering after the crash.
+    survivors = [m for m in net.member_hosts()]
+    assert all(m.delivered_count > 0 for m in survivors)
+    assert max(m.delivered_count for m in survivors) >= src.sent - 10
+
+
+def test_crash_while_holding_token_detected():
+    # Crash whichever node holds the token at the crash instant.
+    sim, net = small_net(seed=7, n_br=4)
+    checker = OrderChecker(sim.trace)
+    src = net.add_source(corresponding="br:0", rate_per_sec=20)
+    net.start()
+    src.start()
+
+    def crash_holder():
+        holder = next((ne for ne in net.top_ring_nes()
+                       if ne.held_token is not None), None)
+        victim = holder.id if holder is not None else "br:2"
+        net.crash_ne(victim)
+
+    sim.schedule_at(2_000, crash_holder)
+    sim.run(until=14_000)
+    src.stop()
+    sim.run(until=18_000)
+    checker.assert_ok()
+    regens = sum(ne.tokens_regenerated for ne in net.nes.values())
+    assert regens >= 1
+    # The ring keeps making ordering progress after regeneration.
+    max_next = max(
+        (ne.new_token.next_global_seq for ne in net.top_ring_nes()
+         if ne.new_token is not None),
+        default=0,
+    )
+    assert max_next >= src.sent - 10
+
+
+def test_token_loss_signal_ignored_when_running_well():
+    sim, net = small_net(seed=2)
+    net.start()
+    sim.run(until=1_000)
+    ne = net.top_ring_nes()[0]
+    assert ne.ordering_runs_well()
+    before = sum(n.tokens_regenerated for n in net.top_ring_nes())
+    ne.signal_token_loss()
+    sim.run(until=2_000)
+    after = sum(n.tokens_regenerated for n in net.top_ring_nes())
+    assert after == before  # no spurious regeneration
+
+
+def test_regeneration_resumes_from_freshest_snapshot():
+    sim, net, src, checker = run_crash_scenario(seed=11, victim="br:2")
+    checker.assert_ok()
+    # No global sequence was assigned twice to different payloads —
+    # the checker's agreement invariant covers this; also assert the
+    # sequence space is gap-free at the remaining top nodes.
+    tops = net.top_ring_nes()
+    rears = {ne.mq.rear for ne in tops}
+    assert len(rears) == 1
+
+
+def test_multiple_token_resolution_on_merge():
+    sim, net = small_net(seed=4, n_br=4)
+    checker = OrderChecker(sim.trace)
+    src = net.add_source(corresponding="br:0", rate_per_sec=15)
+    net.start()
+    src.start()
+    sim.run(until=2_000)
+
+    # Partition the top ring; sources live in the 'a' half.
+    net.maintenance.split_top_ring(["br:0", "br:1"], ["br:2", "br:3"])
+    sim.run(until=5_000)
+    # The b half regenerates its own token (token loss there).
+    # Merge back: Multiple-Token resolution must leave exactly one.
+    net.maintenance.merge_top_rings("ring:br.a", "ring:br.b")
+    sim.run(until=12_000)
+    src.stop()
+    sim.run(until=16_000)
+    checker.assert_ok()
+    live_tokens = sum(1 for ne in net.top_ring_nes()
+                      if ne.held_token is not None)
+    assert live_tokens <= 1
+    # Ordering still progresses post-merge.
+    assert max(m.delivered_count for m in net.member_hosts()) >= src.sent - 10

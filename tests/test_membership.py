@@ -1,0 +1,142 @@
+"""Tests for membership tables and the trace-driven service."""
+
+from repro.membership.events import EventKind, MembershipEvent
+from repro.membership.protocol import MembershipService
+from repro.membership.tables import GroupView
+from repro.topology.tiers import Tier
+
+from helpers import small_net
+
+
+# ---------------------------------------------------------------------------
+# GroupView
+# ---------------------------------------------------------------------------
+def test_join_adds_member():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    assert "mh:1" in v
+    assert v.size == 1
+    assert v.joins == 1
+
+
+def test_join_idempotent_for_live_member():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    v.apply_join("mh:1", "ap:1", at=2.0)
+    assert v.joins == 1
+    assert v.record("mh:1").ap == "ap:1"
+
+
+def test_leave_removes_member():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    v.apply_leave("mh:1", at=2.0)
+    assert "mh:1" not in v
+    assert v.leaves == 1
+
+
+def test_failure_counted_separately():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    v.apply_leave("mh:1", at=2.0, failure=True)
+    assert v.failures == 1 and v.leaves == 0
+
+
+def test_rejoin_after_leave():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    v.apply_leave("mh:1", at=2.0)
+    v.apply_join("mh:1", "ap:2", at=3.0)
+    assert "mh:1" in v
+    assert v.joins == 2
+
+
+def test_handoff_does_not_bump_version():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    version = v.version
+    v.apply_handoff("mh:1", "ap:5", at=2.0)
+    assert v.version == version  # "no notion of handoff" in membership
+    assert v.record("mh:1").ap == "ap:5"
+    assert v.handoffs == 1
+
+
+def test_aps_hosting_members():
+    v = GroupView("g")
+    v.apply_join("mh:1", "ap:0", at=1.0)
+    v.apply_join("mh:2", "ap:0", at=1.0)
+    v.apply_join("mh:3", "ap:1", at=1.0)
+    assert v.aps_hosting_members() == {"ap:0", "ap:1"}
+
+
+def test_leave_unknown_member_is_noop():
+    v = GroupView("g")
+    v.apply_leave("ghost", at=1.0)
+    assert v.leaves == 0
+
+
+# ---------------------------------------------------------------------------
+# MembershipEvent
+# ---------------------------------------------------------------------------
+def test_event_str_forms():
+    e1 = MembershipEvent(1.0, EventKind.JOIN, "mh:1", ap="ap:0")
+    e2 = MembershipEvent(2.0, EventKind.HANDOFF, "mh:1", ap="ap:1",
+                         old_ap="ap:0")
+    assert "join" in str(e1)
+    assert "handoff" in str(e2)
+
+
+# ---------------------------------------------------------------------------
+# MembershipService against a live protocol
+# ---------------------------------------------------------------------------
+def net_with_service(n_mhs: int = 4, batch_interval: float = 50.0):
+    """Build a net, attach the service BEFORE any MH joins."""
+    sim, net = small_net(mhs_per_ap=0, aps_per_ag=2)
+    svc = MembershipService(net.cfg.gid, sim.trace,
+                            batch_interval=batch_interval)
+    net.start()
+    aps = net.hierarchy.nodes_of_tier(Tier.AP)
+    for i in range(n_mhs):
+        net.add_mobile_host(f"mh:{i}", aps[i % len(aps)])
+    return sim, net, svc
+
+
+def test_service_tracks_initial_joins():
+    sim, net, svc = net_with_service(n_mhs=4)
+    sim.run(until=1_000)
+    assert svc.view.size == 4
+    assert svc.join_latencies  # measured join round-trips
+    assert all(lat > 0 for lat in svc.join_latencies)
+
+
+def test_service_tracks_leaves():
+    sim, net, svc = net_with_service(n_mhs=3)
+    sim.run(until=500)
+    net.member_hosts()[0].leave()
+    sim.run(until=1_000)
+    assert svc.view.leaves == 1
+    assert svc.view.size == 2
+
+
+def test_service_tracks_handoffs():
+    sim, net, svc = net_with_service(n_mhs=2)
+    sim.run(until=500)
+    net.handoff("mh:0", "ap:1.0.0")
+    sim.run(until=1_000)
+    assert svc.view.handoffs >= 1
+    assert svc.view.record("mh:0").ap == "ap:1.0.0"
+
+
+def test_batching_reduces_updates():
+    sim, net, svc = net_with_service(n_mhs=6, batch_interval=1_000.0)
+    sim.run(until=500)
+    svc.flush_batches()
+    assert svc.updates_with_batching() < svc.updates_without_batching()
+
+
+def test_summary_shape():
+    sim, net, svc = net_with_service(n_mhs=2)
+    sim.run(until=500)
+    s = svc.summary()
+    assert {"members", "joins", "leaves", "handoffs", "events",
+            "batched_updates", "mean_join_latency"} <= set(s)

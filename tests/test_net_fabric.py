@@ -1,0 +1,229 @@
+"""Unit tests for addresses, links, and the fabric."""
+
+import pytest
+
+from repro.net.address import make_id, tier_of
+from repro.net.fabric import Fabric
+from repro.net.link import LinkSpec, WIRED, WIRELESS
+
+from conftest import Ping, Recorder
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+def test_make_id_formats():
+    assert make_id("br", 0) == "br:0"
+    assert make_id("ap", 1, 2, 3) == "ap:1.2.3"
+
+
+def test_make_id_requires_indices():
+    with pytest.raises(ValueError):
+        make_id("br")
+
+
+def test_tier_of():
+    assert tier_of("ag:1.2") == "ag"
+    assert tier_of("mh:0.0.0.1") == "mh"
+
+
+# ---------------------------------------------------------------------------
+# LinkSpec
+# ---------------------------------------------------------------------------
+def test_linkspec_with_loss_copies():
+    spec = WIRED.with_loss(0.5)
+    assert spec.loss_prob == 0.5
+    assert WIRED.loss_prob == 0.0
+    assert spec.latency == WIRED.latency
+
+
+def test_linkspec_with_latency():
+    spec = WIRED.with_latency(9.0, jitter=1.5)
+    assert spec.latency == 9.0 and spec.jitter == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Fabric
+# ---------------------------------------------------------------------------
+def test_duplicate_node_id_rejected(fabric):
+    Recorder(fabric, "n:0")
+    with pytest.raises(ValueError):
+        Recorder(fabric, "n:0")
+
+
+def test_self_link_rejected(fabric):
+    with pytest.raises(ValueError):
+        fabric.connect("a", "a", WIRED)
+
+
+def test_send_without_link_raises(sim):
+    fabric = Fabric(sim)  # no default spec
+    Recorder(fabric, "a")
+    Recorder(fabric, "b")
+    with pytest.raises(KeyError):
+        fabric.send("a", "b", Ping())
+
+
+def test_default_spec_autocreates_link(fabric):
+    a = Recorder(fabric, "a")
+    Recorder(fabric, "b")
+    a.send("b", Ping())
+    fabric.sim.run()
+    assert fabric.link("a", "b") is not None
+
+
+def test_delivery_after_latency(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=4.0))
+    a.send("b", Ping(7))
+    sim.run()
+    assert len(b.received) == 1
+    assert sim.now == 4.0
+    assert b.received[0].n == 7
+
+
+def test_envelope_fields_filled(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    a.send("b", Ping())
+    sim.run()
+    msg = b.received[0]
+    assert msg.src == "a" and msg.dst == "b" and msg.sent_at == 0.0
+
+
+def test_link_is_bidirectional(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    b.send("a", Ping())
+    sim.run()
+    assert len(a.received) == 1
+
+
+def test_down_link_drops(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    fabric.set_link_up("a", "b", False)
+    a.send("b", Ping())
+    sim.run()
+    assert b.received == []
+    assert fabric.messages_dropped == 1
+
+
+def test_full_loss_link_drops_everything(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0, loss_prob=1.0))
+    for _ in range(10):
+        a.send("b", Ping())
+    sim.run()
+    assert b.received == []
+
+
+def test_partial_loss_statistical(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0, loss_prob=0.5))
+    for _ in range(400):
+        a.send("b", Ping())
+    sim.run()
+    # Expect ~200; allow generous slack for a seeded draw.
+    assert 140 <= len(b.received) <= 260
+
+
+def test_jitter_bounded(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=2.0, jitter=3.0))
+    times = []
+    orig = b.on_message
+    b.on_message = lambda m: times.append(sim.now)  # type: ignore
+    for _ in range(50):
+        a.send("b", Ping())
+    sim.run()
+    assert all(2.0 <= t <= 5.0 for t in times)
+
+
+def test_bandwidth_adds_serialization_delay(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    # 8192-bit default payload at 8192 bits/s = 1s = 1000 ms.
+    fabric.connect("a", "b", LinkSpec(latency=1.0, bandwidth_bps=8192 + 64))
+    a.send("b", Ping())
+    sim.run()
+    assert sim.now == pytest.approx(1001.0, abs=10)
+
+
+def test_crashed_receiver_gets_nothing(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    b.crash()
+    a.send("b", Ping())
+    sim.run()
+    assert b.received == []
+
+
+def test_crashed_sender_sends_nothing(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    a.crash()
+    assert a.send("b", Ping()) is False
+    sim.run()
+    assert b.received == []
+
+
+def test_recover_restores_delivery(sim):
+    fabric = Fabric(sim)
+    a = Recorder(fabric, "a")
+    b = Recorder(fabric, "b")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    b.crash()
+    b.recover()
+    a.send("b", Ping())
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_disconnect_removes_link(sim):
+    fabric = Fabric(sim)
+    Recorder(fabric, "a")
+    Recorder(fabric, "b")
+    fabric.connect("a", "b", WIRED)
+    fabric.disconnect("a", "b")
+    assert fabric.link("a", "b") is None
+
+
+def test_links_listing_sorted(sim):
+    fabric = Fabric(sim)
+    for n in ("a", "b", "c"):
+        Recorder(fabric, n)
+    fabric.connect("b", "c", WIRED)
+    fabric.connect("a", "b", WIRED)
+    eps = [l.endpoints for l in fabric.links]
+    assert eps == [("a", "b"), ("b", "c")]
+
+
+def test_reconnect_updates_spec_and_raises_link(sim):
+    fabric = Fabric(sim)
+    Recorder(fabric, "a")
+    Recorder(fabric, "b")
+    fabric.connect("a", "b", WIRED)
+    fabric.set_link_up("a", "b", False)
+    link = fabric.connect("a", "b", WIRELESS)
+    assert link.up is True
+    assert link.spec == WIRELESS

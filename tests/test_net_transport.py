@@ -1,0 +1,152 @@
+"""Unit tests for the reliable channel (ack/retransmit/give-up/dedup)."""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.link import LinkSpec
+from repro.net.transport import ReliableChannel
+
+from conftest import Ping, ReliableRecorder
+
+
+def make_pair(sim, loss=0.0, latency=1.0, rto=10.0, max_retries=5):
+    fabric = Fabric(sim)
+    a = ReliableRecorder(fabric, "a", rto=rto, max_retries=max_retries)
+    b = ReliableRecorder(fabric, "b", rto=rto, max_retries=max_retries)
+    fabric.connect("a", "b", LinkSpec(latency=latency, loss_prob=loss))
+    return fabric, a, b
+
+
+def test_lossless_delivery(sim):
+    _, a, b = make_pair(sim)
+    for i in range(5):
+        a.chan.send("b", Ping(i))
+    sim.run()
+    assert [p.n for p in b.payloads] == [0, 1, 2, 3, 4]
+    assert a.chan.stats.acked == 5
+    assert a.chan.stats.retransmitted == 0
+
+
+def test_ack_callback_fires(sim):
+    _, a, b = make_pair(sim)
+    a.chan.send("b", Ping(3))
+    sim.run()
+    assert len(a.acked) == 1
+    assert a.acked[0][0] == "b"
+    assert a.acked[0][1].n == 3
+
+
+def test_retransmission_overcomes_loss(sim):
+    _, a, b = make_pair(sim, loss=0.5, max_retries=10)
+    for i in range(30):
+        a.chan.send("b", Ping(i))
+    sim.run(until=10_000)
+    assert sorted(p.n for p in b.payloads) == list(range(30))
+    assert a.chan.stats.retransmitted > 0
+
+
+def test_duplicates_suppressed(sim):
+    _, a, b = make_pair(sim, loss=0.4, max_retries=20)
+    for i in range(20):
+        a.chan.send("b", Ping(i))
+    sim.run(until=20_000)
+    # Exactly-once app delivery despite retransmissions.
+    assert len(b.payloads) == 20
+    assert len({p.n for p in b.payloads}) == 20
+
+
+def test_give_up_after_max_retries(sim):
+    fabric, a, b = make_pair(sim, max_retries=2)
+    fabric.set_link_up("a", "b", False)
+    a.chan.send("b", Ping(9))
+    sim.run(until=1_000)
+    assert len(a.gave_up) == 1
+    assert a.gave_up[0][0] == "b"
+    assert a.gave_up[0][1].n == 9
+    assert a.chan.stats.gave_up == 1
+    assert a.chan.in_flight == 0
+
+
+def test_retry_count_respected(sim):
+    fabric, a, b = make_pair(sim, max_retries=3)
+    fabric.set_link_up("a", "b", False)
+    a.chan.send("b", Ping())
+    sim.run(until=1_000)
+    # original + 3 retries = 4 transmissions attempted
+    assert a.chan.stats.retransmitted == 3
+
+
+def test_zero_retries_fire_and_forget(sim):
+    fabric, a, b = make_pair(sim, max_retries=0)
+    fabric.set_link_up("a", "b", False)
+    a.chan.send("b", Ping())
+    sim.run(until=1_000)
+    assert a.chan.stats.retransmitted == 0
+    assert a.chan.stats.gave_up == 1
+
+
+def test_cancel_all_abandons_outstanding(sim):
+    fabric, a, b = make_pair(sim)
+    fabric.set_link_up("a", "b", False)
+    a.chan.send("b", Ping())
+    a.chan.send("b", Ping())
+    a.chan.cancel_all("b")
+    sim.run(until=1_000)
+    assert a.chan.in_flight == 0
+    assert a.gave_up == []  # cancelled, not given up
+
+
+def test_crashed_sender_stops_retransmitting(sim):
+    fabric, a, b = make_pair(sim, max_retries=5)
+    fabric.set_link_up("a", "b", False)
+    a.chan.send("b", Ping())
+    sim.schedule(5.0, a.crash)
+    sim.run(until=1_000)
+    assert a.chan.stats.gave_up == 0  # frozen, neither delivered nor dropped
+
+
+def test_per_destination_sequencing(sim):
+    fabric = Fabric(sim)
+    a = ReliableRecorder(fabric, "a")
+    b = ReliableRecorder(fabric, "b")
+    c = ReliableRecorder(fabric, "c")
+    fabric.connect("a", "b", LinkSpec(latency=1.0))
+    fabric.connect("a", "c", LinkSpec(latency=1.0))
+    s1 = a.chan.send("b", Ping(1))
+    s2 = a.chan.send("c", Ping(2))
+    assert s1 == 0 and s2 == 0  # independent seq spaces
+    sim.run()
+    assert b.payloads[0].n == 1 and c.payloads[0].n == 2
+
+
+def test_invalid_params_rejected(sim):
+    fabric = Fabric(sim)
+    node = ReliableRecorder(fabric, "x")
+    with pytest.raises(ValueError):
+        ReliableChannel(node, rto=0.0)
+    with pytest.raises(ValueError):
+        ReliableChannel(node, max_retries=-1)
+
+
+def test_payload_envelope_propagated(sim):
+    _, a, b = make_pair(sim)
+    a.chan.send("b", Ping(5))
+    sim.run()
+    p = b.payloads[0]
+    assert p.src == "a" and p.dst == "b" and p.sent_at == 0.0
+
+
+def test_non_transport_message_passes_through(sim):
+    fabric, a, b = make_pair(sim)
+    # A raw (unwrapped) message must come back from accept() unchanged.
+    raw = Ping(1)
+    assert b.chan.accept(raw) is raw
+
+
+def test_heavy_bidirectional_traffic(sim):
+    _, a, b = make_pair(sim, loss=0.2, max_retries=10)
+    for i in range(25):
+        a.chan.send("b", Ping(i))
+        b.chan.send("a", Ping(100 + i))
+    sim.run(until=20_000)
+    assert len(a.payloads) == 25 and len(b.payloads) == 25

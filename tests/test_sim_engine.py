@@ -1,0 +1,187 @@
+"""Unit tests for the event-heap scheduler."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_starts_at_time_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_single_event(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order(sim):
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_with_args(sim):
+    got = []
+    sim.schedule(1.0, lambda a, b: got.append(a + b), 2, 3)
+    sim.run()
+    assert got == [5]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_firing(sim):
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(ev)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    sim.cancel(ev)  # must not raise
+    assert fired == [1]
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0  # clock advanced to the horizon
+
+
+def test_run_until_is_inclusive(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == [1]
+
+
+def test_run_resumes_after_until(sim):
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    sim.run()
+    assert fired == [10]
+
+
+def test_events_scheduled_during_run_execute(sim):
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(1.0, lambda: order.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_max_events_bounds_processing(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_halts_loop(sim):
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [(1, None)] or fired[0] is not None  # stop after current
+    assert len(fired) == 1
+
+
+def test_step_processes_one_event(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_returns_next_time(sim):
+    assert sim.peek() is None
+    sim.schedule(4.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek() == 2.0
+
+
+def test_peek_skips_cancelled(sim):
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(ev)
+    assert sim.peek() == 2.0
+
+
+def test_pending_counts_noncancelled(sim):
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    sim.cancel(e1)
+    assert sim.pending == 1
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_reentrant_run_rejected(sim):
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_rng_streams_are_deterministic():
+    a = Simulator(seed=99)
+    b = Simulator(seed=99)
+    assert a.rng("x").random() == b.rng("x").random()
+
+
+def test_rng_streams_differ_by_name(sim):
+    assert sim.rng("a").random() != sim.rng("b").random()
+
+
+def test_zero_delay_event_fires_at_current_time(sim):
+    sim.schedule(5.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    times = []
+    sim.run()
+    assert times == [5.0]

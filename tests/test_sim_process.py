@@ -1,0 +1,138 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim.process import Process, Signal, Timeout, WaitSignal
+
+
+def test_timeout_advances_time(sim):
+    log = []
+
+    def script():
+        yield Timeout(2.0)
+        log.append(sim.now)
+        yield Timeout(3.0)
+        log.append(sim.now)
+
+    Process(sim, script())
+    sim.run()
+    assert log == [2.0, 5.0]
+
+
+def test_process_result_captured(sim):
+    def script():
+        yield Timeout(1.0)
+        return 42
+
+    p = Process(sim, script())
+    sim.run()
+    assert p.result == 42
+    assert not p.alive
+
+
+def test_zero_timeout_allowed(sim):
+    log = []
+
+    def script():
+        yield Timeout(0.0)
+        log.append(sim.now)
+
+    Process(sim, script())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_wait_signal_blocks_until_fire(sim):
+    sig = Signal("go")
+    log = []
+
+    def waiter():
+        value = yield WaitSignal(sig)
+        log.append((sim.now, value))
+
+    Process(sim, waiter())
+    sim.schedule(7.0, sig.fire, "hello")
+    sim.run()
+    assert log == [(7.0, "hello")]
+
+
+def test_signal_wakes_all_waiters(sim):
+    sig = Signal()
+    woken = []
+
+    def waiter(tag):
+        yield WaitSignal(sig)
+        woken.append(tag)
+
+    Process(sim, waiter("a"))
+    Process(sim, waiter("b"))
+    sim.schedule(1.0, sig.fire)
+    sim.run()
+    assert sorted(woken) == ["a", "b"]
+
+
+def test_signal_fire_with_no_waiters_is_noop(sim):
+    sig = Signal()
+    sig.fire("ignored")
+    assert sig.fired_count == 1
+
+
+def test_done_signal_chains_processes(sim):
+    log = []
+
+    def first():
+        yield Timeout(2.0)
+        return "first-done"
+
+    p1 = Process(sim, first())
+
+    def second():
+        value = yield WaitSignal(p1.done_signal)
+        log.append((sim.now, value))
+
+    Process(sim, second())
+    sim.run()
+    assert log == [(2.0, "first-done")]
+
+
+def test_interrupt_stops_process(sim):
+    log = []
+
+    def script():
+        yield Timeout(1.0)
+        log.append("should not happen")
+
+    p = Process(sim, script())
+    p.interrupt()
+    sim.run()
+    assert log == []
+    assert not p.alive
+
+
+def test_bad_yield_raises(sim):
+    def script():
+        yield "not a directive"
+
+    Process(sim, script())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_processes_interleave(sim):
+    log = []
+
+    def ticker(name, period, count):
+        for _ in range(count):
+            yield Timeout(period)
+            log.append((name, sim.now))
+
+    Process(sim, ticker("fast", 1.0, 3))
+    Process(sim, ticker("slow", 2.0, 2))
+    sim.run()
+    assert log == [("fast", 1.0), ("slow", 2.0), ("fast", 2.0),
+                   ("fast", 3.0), ("slow", 4.0)]

@@ -1,0 +1,116 @@
+"""Unit tests for random streams and the trace bus."""
+
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+# ---------------------------------------------------------------------------
+# RandomStreams
+# ---------------------------------------------------------------------------
+def test_same_seed_same_stream():
+    a, b = RandomStreams(7), RandomStreams(7)
+    assert list(a.get("x").integers(0, 100, 5)) == list(b.get("x").integers(0, 100, 5))
+
+
+def test_different_seeds_differ():
+    a, b = RandomStreams(7), RandomStreams(8)
+    assert list(a.get("x").integers(0, 1000, 8)) != list(b.get("x").integers(0, 1000, 8))
+
+
+def test_streams_independent_of_creation_order():
+    a = RandomStreams(7)
+    b = RandomStreams(7)
+    a.get("first")
+    first_then = a.get("second").random()
+    only = b.get("second").random()
+    assert first_then == only
+
+
+def test_get_returns_same_generator():
+    s = RandomStreams(1)
+    assert s.get("x") is s.get("x")
+
+
+def test_reset_recreates_streams():
+    s = RandomStreams(1)
+    v1 = s.get("x").random()
+    s.reset()
+    v2 = s.get("x").random()
+    assert v1 == v2  # same seed path replays
+
+
+def test_names_and_contains():
+    s = RandomStreams(1)
+    s.get("b")
+    s.get("a")
+    assert s.names() == ["a", "b"]
+    assert "a" in s and "zzz" not in s
+
+
+# ---------------------------------------------------------------------------
+# TraceBus
+# ---------------------------------------------------------------------------
+def test_emit_without_subscribers_is_cheap():
+    bus = TraceBus()
+    bus.emit(1.0, "x", a=1)
+    assert bus.records == []
+    assert bus.counts["x"] == 1
+
+
+def test_subscribe_by_kind():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("deliver", got.append)
+    bus.emit(1.0, "deliver", mh="m1")
+    bus.emit(2.0, "other")
+    assert len(got) == 1
+    assert got[0].time == 1.0
+    assert got[0]["mh"] == "m1"
+
+
+def test_subscribe_all_kinds():
+    bus = TraceBus()
+    got = []
+    bus.subscribe(None, got.append)
+    bus.emit(1.0, "a")
+    bus.emit(2.0, "b")
+    assert [r.kind for r in got] == ["a", "b"]
+
+
+def test_unsubscribe():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("a", got.append)
+    bus.unsubscribe("a", got.append)
+    bus.emit(1.0, "a")
+    assert got == []
+
+
+def test_record_mode_retains():
+    bus = TraceBus(record=True)
+    bus.emit(1.0, "a", v=1)
+    bus.emit(2.0, "b", v=2)
+    assert len(bus.records) == 2
+    assert [r.kind for r in bus.of_kind("a")] == ["a"]
+
+
+def test_clear_resets_records_and_counts():
+    bus = TraceBus(record=True)
+    bus.emit(1.0, "a")
+    bus.clear()
+    assert bus.records == [] and bus.counts == {}
+
+
+def test_record_get_default():
+    rec = TraceRecord(1.0, "k", {"x": 5})
+    assert rec.get("x") == 5
+    assert rec.get("missing", "d") == "d"
+
+
+def test_multiple_subscribers_same_kind():
+    bus = TraceBus()
+    a, b = [], []
+    bus.subscribe("k", a.append)
+    bus.subscribe("k", b.append)
+    bus.emit(1.0, "k")
+    assert len(a) == 1 and len(b) == 1

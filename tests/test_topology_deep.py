@@ -1,0 +1,112 @@
+"""Tests for sub-tier (deep) hierarchies — paper §3's extension."""
+
+import pytest
+
+from repro.core.protocol import RingNet
+from repro.metrics.order_checker import OrderChecker
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.topology.builder import (
+    build_deep_hierarchy,
+    deep_initial_attachments,
+    provision_links,
+)
+from repro.topology.tiers import Tier
+
+
+def test_deep_build_validates():
+    h = build_deep_hierarchy(n_br=2, ring_size=2, depth=3, aps_per_ag=1,
+                             mhs_per_ap=1)
+    h.validate()
+    # Levels: 2 BRs, each with a depth-3 binary ring cascade:
+    # level sizes 2, 4, 8 AGs per BR.
+    assert len(h.nodes_of_tier(Tier.AG)) == 2 * (2 + 4 + 8)
+    # APs only at the deepest level.
+    assert len(h.nodes_of_tier(Tier.AP)) == 2 * 8 * 1
+
+
+def test_deep_ring_leaders_have_parents_at_every_level():
+    h = build_deep_hierarchy(n_br=2, ring_size=3, depth=2)
+    for rid, ring in h.rings.items():
+        if rid == h.top_ring_id:
+            continue
+        parent = h.parent[ring.leader]
+        assert parent in h.tier_of
+
+
+def test_deep_attachments_resolve():
+    h = build_deep_hierarchy(n_br=2, ring_size=2, depth=2, aps_per_ag=2,
+                             mhs_per_ap=2)
+    att = deep_initial_attachments(h)
+    assert len(att) == len(h.nodes_of_tier(Tier.MH))
+    for mh, ap in att.items():
+        assert h.tier_of[ap] is Tier.AP
+
+
+def test_deep_builder_validation():
+    with pytest.raises(ValueError):
+        build_deep_hierarchy(depth=0)
+    with pytest.raises(ValueError):
+        build_deep_hierarchy(ring_size=0)
+
+
+def run_deep_protocol(depth: int, seed: int = 23):
+    sim = Simulator(seed=seed)
+    fabric = Fabric(sim)
+    h = build_deep_hierarchy(n_br=2, ring_size=2, depth=depth,
+                             aps_per_ag=1, mhs_per_ap=1)
+    provision_links(fabric, h)
+    net = RingNet(sim, fabric, h)
+    for mh, ap in deep_initial_attachments(h).items():
+        net.add_mobile_host(mh, ap)
+    checker = OrderChecker(sim.trace)
+    src = net.add_source(corresponding="br:0", rate_per_sec=15)
+    net.start()
+    src.start()
+    sim.run(until=6_000)
+    src.stop()
+    sim.run(until=12_000)
+    return net, src, checker
+
+
+def test_protocol_runs_unchanged_on_deep_hierarchy():
+    net, src, checker = run_deep_protocol(depth=3)
+    checker.assert_ok()
+    counts = [m.delivered_count for m in net.member_hosts()]
+    assert min(counts) == src.sent  # full delivery at every depth-3 leaf
+
+
+def test_deep_hierarchy_total_order_across_subtrees():
+    net, src, checker = run_deep_protocol(depth=2)
+    checker.assert_ok()
+    ref = None
+    for m in net.member_hosts():
+        stream = [(g, p) for g, p, _ in m.app_log]
+        if ref is None:
+            ref = stream
+        else:
+            assert stream == ref  # byte-identical streams everywhere
+
+
+def test_deep_hierarchy_latency_grows_with_depth():
+    from repro.metrics.collectors import LatencyCollector
+
+    def median_latency(depth: int) -> float:
+        sim = Simulator(seed=29)
+        fabric = Fabric(sim)
+        h = build_deep_hierarchy(n_br=2, ring_size=2, depth=depth,
+                                 aps_per_ag=1, mhs_per_ap=1)
+        provision_links(fabric, h)
+        net = RingNet(sim, fabric, h)
+        for mh, ap in deep_initial_attachments(h).items():
+            net.add_mobile_host(mh, ap)
+        lat = LatencyCollector(sim.trace, warmup=1_500.0)
+        src = net.add_source(corresponding="br:0", rate_per_sec=15)
+        net.start()
+        src.start()
+        sim.run(until=6_000)
+        return lat.summary()["p50"]
+
+    shallow, deep = median_latency(1), median_latency(4)
+    assert deep > shallow  # each extra ring level adds bounded hops
+    assert deep < shallow + 40.0  # ...but only linearly, not worse

@@ -1,0 +1,255 @@
+"""Unit tests for the hierarchy, builder, and maintenance."""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.topology.builder import (
+    HierarchySpec,
+    build_hierarchy,
+    initial_attachments,
+    provision_links,
+)
+from repro.topology.hierarchy import Hierarchy
+from repro.topology.maintenance import TopologyMaintenance
+from repro.topology.ring import LogicalRing
+from repro.topology.tiers import Tier
+
+
+# ---------------------------------------------------------------------------
+# Spec + builder
+# ---------------------------------------------------------------------------
+def test_spec_counts():
+    spec = HierarchySpec(n_br=3, ags_per_br=2, aps_per_ag=2, mhs_per_ap=2)
+    assert spec.n_ag == 6
+    assert spec.n_ap == 12
+    assert spec.n_mh == 24
+    assert spec.total_nes == 3 + 6 + 12
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        HierarchySpec(n_br=0)
+    with pytest.raises(ValueError):
+        HierarchySpec(ags_per_br=0)
+    with pytest.raises(ValueError):
+        HierarchySpec(aps_per_ag=-1)
+
+
+def test_build_regular_hierarchy_validates():
+    h = build_hierarchy(HierarchySpec())
+    h.validate()  # no raise
+
+
+def test_top_ring_is_br_ring():
+    h = build_hierarchy(HierarchySpec(n_br=4))
+    assert h.top_ring.size == 4
+    assert all(h.tier_of[n] is Tier.BR for n in h.top_ring)
+
+
+def test_ag_ring_leaders_are_br_children():
+    h = build_hierarchy(HierarchySpec(n_br=2, ags_per_br=3))
+    for rid, ring in h.rings.items():
+        if rid == h.top_ring_id:
+            continue
+        parent = h.parent[ring.leader]
+        assert h.tier_of[parent] is Tier.BR
+
+
+def test_aps_have_ag_parents():
+    h = build_hierarchy(HierarchySpec())
+    for ap in h.nodes_of_tier(Tier.AP):
+        assert h.tier_of[h.parent[ap]] is Tier.AG
+
+
+def test_mh_count_and_initial_attachments():
+    spec = HierarchySpec(n_br=2, ags_per_br=2, aps_per_ag=2, mhs_per_ap=3)
+    h = build_hierarchy(spec)
+    att = initial_attachments(spec)
+    assert len(h.nodes_of_tier(Tier.MH)) == spec.n_mh
+    assert len(att) == spec.n_mh
+    assert all(h.tier_of[ap] is Tier.AP for ap in att.values())
+
+
+def test_candidate_parents_configured():
+    h = build_hierarchy(HierarchySpec())
+    for ap in h.nodes_of_tier(Tier.AP):
+        cands = h.candidate_parents[ap]
+        assert cands[0] == h.parent[ap]  # primary first
+        assert len(cands) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Neighbor views
+# ---------------------------------------------------------------------------
+def test_neighbor_view_top_ring_member():
+    h = build_hierarchy(HierarchySpec(n_br=3))
+    v = h.neighbor_view("br:1")
+    assert v.in_top_ring
+    assert v.previous == "br:0" and v.next == "br:2"
+    assert v.leader == "br:0"
+    assert not v.is_leader
+
+
+def test_neighbor_view_leader_flag():
+    h = build_hierarchy(HierarchySpec())
+    v = h.neighbor_view("br:0")
+    assert v.is_leader
+
+
+def test_neighbor_view_ap_has_parent_no_ring():
+    h = build_hierarchy(HierarchySpec())
+    v = h.neighbor_view("ap:0.0.0")
+    assert v.ring_id is None
+    assert v.parent == "ag:0.0"
+    assert v.next is None
+
+
+def test_neighbor_view_children():
+    h = build_hierarchy(HierarchySpec(aps_per_ag=3))
+    v = h.neighbor_view("ag:0.0")
+    assert len(v.children) == 3
+
+
+def test_all_views_excludes_mhs():
+    h = build_hierarchy(HierarchySpec())
+    views = h.all_views()
+    assert not any(v.tier is Tier.MH for v in views.values())
+
+
+# ---------------------------------------------------------------------------
+# Link provisioning
+# ---------------------------------------------------------------------------
+def test_provision_links_covers_adjacencies():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    h = build_hierarchy(HierarchySpec())
+    provision_links(fabric, h)
+    # Every ring adjacency has a link.
+    for ring in h.rings.values():
+        for node in ring:
+            if ring.size > 1:
+                assert fabric.link(node, ring.next_of(node)) is not None
+    # Every tree link exists.
+    for child, parent in h.parent.items():
+        assert fabric.link(child, parent) is not None
+
+
+def test_provision_links_idempotent():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    h = build_hierarchy(HierarchySpec())
+    n1 = provision_links(fabric, h)
+    n2 = provision_links(fabric, h)
+    assert n1 > 0 and n2 == 0
+
+
+# ---------------------------------------------------------------------------
+# Maintenance
+# ---------------------------------------------------------------------------
+def small_hierarchy() -> Hierarchy:
+    return build_hierarchy(HierarchySpec(n_br=3, ags_per_br=2, aps_per_ag=1,
+                                         mhs_per_ap=0))
+
+
+def test_remove_non_leader_ring_member():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    maint.remove_ne("br:1")
+    assert "br:1" not in h.top_ring
+    assert h.top_ring.size == 2
+    h.validate()
+
+
+def test_remove_leader_reelects_and_emits():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    records = maint.remove_ne("br:0")
+    kinds = [r.kind for r in records]
+    assert "leader_change" in kinds
+    assert h.top_ring.leader == "br:1"
+    h.validate()
+
+
+def test_remove_ag_leader_moves_tree_link():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    ring = h.rings["ring:ag.0"]
+    old_leader = ring.leader
+    br = h.parent[old_leader]
+    maint.remove_ne(old_leader)
+    assert h.parent[ring.leader] == br
+    h.validate()
+
+
+def test_remove_reparents_children_to_candidates():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    ap = "ap:0.0.0"
+    old_parent = h.parent[ap]
+    records = maint.remove_ne(old_parent)
+    new_parent = h.parent.get(ap)
+    assert new_parent is not None and new_parent != old_parent
+    assert any(r.kind == "reparent" and r["child"] == ap for r in records)
+
+
+def test_remove_unknown_node_raises():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    with pytest.raises(KeyError):
+        maint.remove_ne("br:99")
+
+
+def test_listeners_receive_records():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    seen = []
+    maint.subscribe(seen.append)
+    maint.remove_ne("br:2")
+    assert seen
+    assert seen[-1].kind == "node_removed"
+
+
+def test_join_ring_inserts():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    maint.join_ring("br:9", h.top_ring_id, Tier.BR, after="br:0")
+    assert h.top_ring.members.index("br:9") == 1
+    assert h.ring_of["br:9"] == h.top_ring_id
+
+
+def test_attach_ap():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    maint.attach_ap("ap:9.9.9", "ag:0.0", candidates=["ag:0.0", "ag:0.1"])
+    assert h.parent["ap:9.9.9"] == "ag:0.0"
+    h.validate()
+
+
+def test_split_and_merge_top_ring():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    maint.split_top_ring(["br:0", "br:1"], ["br:2"])
+    assert h.top_ring.size == 2
+    assert len(h.rings) == 2 + 3  # 2 BR halves + 3 AG rings (one per BR)
+    maint.merge_top_rings("ring:br.a", "ring:br.b")
+    assert h.top_ring.size == 3
+    h.validate()
+
+
+def test_split_requires_partition():
+    h = small_hierarchy()
+    maint = TopologyMaintenance(h)
+    with pytest.raises(ValueError):
+        maint.split_top_ring(["br:0"], ["br:1"])  # br:2 unassigned
+    with pytest.raises(ValueError):
+        maint.split_top_ring(["br:0", "br:1"], ["br:1", "br:2"])  # overlap
+
+
+def test_singleton_ring_removal_drops_ring():
+    h = Hierarchy()
+    h.add_ring(LogicalRing("ring:solo", ["br:0"]), Tier.BR, top=True)
+    maint = TopologyMaintenance(h)
+    records = maint.remove_ne("br:0")
+    assert any(r.kind == "ring_dropped" for r in records)
+    assert h.top_ring_id is None
