@@ -7,56 +7,47 @@ s·λ messages each time unit."
 For each (s, λ) cell we run the ordered protocol and the unordered
 baseline on the same hierarchy and compare steady-state per-MH goodput
 against s·λ.  Expected shape: all three columns equal (±5%).
+
+Ported to the :mod:`repro.experiments` subsystem: each cell is an
+:class:`ExperimentSpec`, executed by :func:`run_point`; the goodput
+comes from the standard :class:`RunResult` instead of hand-wired
+collectors.
 """
 
 import pytest
 
-from repro.baselines.unordered import UnorderedRingNet
-from repro.core.protocol import RingNet
-from repro.metrics.collectors import ThroughputCollector
-from repro.sim.engine import Simulator
-from repro.topology.builder import HierarchySpec
+from repro.experiments import ExperimentSpec, HierarchyShape, run_point
 
 from _common import emit, run_once
 
-SPEC = HierarchySpec(n_br=4, ags_per_br=2, aps_per_ag=2, mhs_per_ap=1)
+SHAPE = HierarchyShape(n_br=4, ags_per_br=2, aps_per_ag=2, mhs_per_ap=1)
 DURATION = 10_000.0
 MEASURE_FROM = 3_000.0
 CELLS = [(1, 20.0), (2, 20.0), (4, 10.0), (4, 20.0)]
 
-
-def goodput_ordered(s: int, lam: float) -> float:
-    sim = Simulator(seed=101)
-    net = RingNet.build(sim, SPEC)
-    thr = ThroughputCollector(sim.trace)
-    top = net.hierarchy.top_ring.members
-    sources = [net.add_source(corresponding=top[i], rate_per_sec=lam)
-               for i in range(s)]
-    net.start()
-    for i, src in enumerate(sources):
-        src.start(delay=i * 3.0)
-    sim.run(until=DURATION)
-    return thr.goodput(MEASURE_FROM, DURATION)
+BASE = ExperimentSpec(
+    name="e1",
+    hierarchy=SHAPE,
+    duration_ms=DURATION,
+    warmup_ms=MEASURE_FROM,
+    seed=101,
+)
 
 
-def goodput_unordered(s: int, lam: float) -> float:
-    sim = Simulator(seed=101)
-    net = UnorderedRingNet.build(sim, SPEC)
-    thr = ThroughputCollector(sim.trace)
-    top = net.hierarchy.top_ring.members
-    sources = [net.add_source(corresponding=top[i], rate_per_sec=lam)
-               for i in range(s)]
-    for i, src in enumerate(sources):
-        src.start(delay=i * 3.0)
-    sim.run(until=DURATION)
-    return thr.goodput(MEASURE_FROM, DURATION)
+def goodput(system: str, s: int, lam: float) -> float:
+    spec = BASE.with_overrides({
+        "system": system,
+        "workload.s": s,
+        "workload.rate_per_sec": lam,
+    })
+    return run_point(spec).goodput
 
 
 def run_sweep() -> list:
     rows = []
     for s, lam in CELLS:
-        ordered = goodput_ordered(s, lam)
-        unordered = goodput_unordered(s, lam)
+        ordered = goodput("ringnet", s, lam)
+        unordered = goodput("unordered", s, lam)
         target = s * lam
         rows.append({
             "s": s,

@@ -9,62 +9,63 @@ Both systems run the identical ordering/token/reliability stack; only
 the distribution vehicle differs.  Expected shape: single-ring latency
 grows ~linearly with N; RingNet latency is near-flat (small local rings
 + fixed tree depth); the crossover sits at very small N.
+
+Ported to the :mod:`repro.experiments` subsystem: each cell is a spec
+(``system="single_ring"`` vs ``"ringnet"``) and latency/peak-buffer
+numbers come from the standard :class:`RunResult`.
 """
 
 import pytest
 
-from repro.baselines.single_ring import SingleRingMulticast
-from repro.core.config import ProtocolConfig
-from repro.core.protocol import RingNet
-from repro.metrics.collectors import LatencyCollector
-from repro.sim.engine import Simulator
-from repro.topology.builder import HierarchySpec
+from repro.experiments import ExperimentSpec, WorkloadSpec, run_point
 
 from _common import emit, run_once
 
 DURATION = 10_000.0
 RATE = 15.0
-CFG = ProtocolConfig(mq_retention=16)
 SIZES = [6, 12, 24, 48]
+
+BASE = ExperimentSpec(
+    name="e6",
+    protocol={"mq_retention": 16},
+    workload=WorkloadSpec(s=1, rate_per_sec=RATE),
+    duration_ms=DURATION,
+    warmup_ms=2_500.0,
+    seed=606,
+)
 
 
 def single_ring_cell(n: int) -> dict:
-    sim = Simulator(seed=606)
-    ring = SingleRingMulticast.build_ring(sim, n_bs=n, mhs_per_bs=1, cfg=CFG)
-    lat = LatencyCollector(sim.trace, warmup=2_500.0)
-    src = ring.add_source(corresponding="bs:0", rate_per_sec=RATE)
-    ring.start()
-    src.start()
-    sim.run(until=DURATION)
-    peaks = ring.ring_peak_buffers()
+    # single_ring derives n_bs from the shape's AP count.
+    spec = BASE.with_overrides({
+        "system": "single_ring",
+        "hierarchy.n_br": 1, "hierarchy.ags_per_br": 1,
+        "hierarchy.aps_per_ag": n, "hierarchy.mhs_per_ap": 1,
+    })
+    r = run_point(spec)
     return {
         "system": "single-ring",
         "N": n,
-        "p50 (ms)": round(lat.summary()["p50"], 1),
-        "p99 (ms)": round(lat.summary()["p99"], 1),
-        "peak wq+mq": peaks["wq_peak"] + peaks["mq_peak"],
+        "p50 (ms)": round(r.latency["p50"], 1),
+        "p99 (ms)": round(r.latency["p99"], 1),
+        "peak wq+mq": r.peak_buffer,
     }
 
 
 def ringnet_cell(n: int) -> dict:
     ags_per_br = 2
     aps_per_ag = max(1, n // (3 * ags_per_br))
-    sim = Simulator(seed=606)
-    net = RingNet.build(sim, HierarchySpec(n_br=3, ags_per_br=ags_per_br,
-                                           aps_per_ag=aps_per_ag,
-                                           mhs_per_ap=1), cfg=CFG)
-    lat = LatencyCollector(sim.trace, warmup=2_500.0)
-    src = net.add_source(corresponding="br:0", rate_per_sec=RATE)
-    net.start()
-    src.start()
-    sim.run(until=DURATION)
-    peak = max(r["wq_peak"] + r["mq_peak"] for r in net.buffer_reports())
+    spec = BASE.with_overrides({
+        "hierarchy.n_br": 3, "hierarchy.ags_per_br": ags_per_br,
+        "hierarchy.aps_per_ag": aps_per_ag, "hierarchy.mhs_per_ap": 1,
+    })
+    r = run_point(spec)
     return {
         "system": "ringnet",
         "N": 3 * ags_per_br * aps_per_ag,
-        "p50 (ms)": round(lat.summary()["p50"], 1),
-        "p99 (ms)": round(lat.summary()["p99"], 1),
-        "peak wq+mq": peak,
+        "p50 (ms)": round(r.latency["p50"], 1),
+        "p99 (ms)": round(r.latency["p99"], 1),
+        "peak wq+mq": r.peak_buffer,
     }
 
 
@@ -87,7 +88,6 @@ def test_e6_single_ring_degrades_with_size(benchmark):
     # Single ring degrades super-linearly vs its own small size...
     assert single[48]["p50 (ms)"] > 3 * single[6]["p50 (ms)"]
     # ...while RingNet stays near-flat (< 1.5x from smallest to largest).
-    r_small = min(ringnet),
     assert ringnet[max(ringnet)]["p50 (ms)"] < 1.5 * ringnet[min(ringnet)]["p50 (ms)"]
     # And RingNet wins outright at the largest size.
     assert ringnet[max(ringnet)]["p50 (ms)"] < single[48]["p50 (ms)"]

@@ -3,13 +3,19 @@
 
 The paper's §1 motivating workload: conferencing / distance learning
 where every participant must see the same ordered stream while walking
-around a campus.  Mobile hosts random-walk across the AP cell grid and
-hand off on every cell crossing; the protocol keeps delivery totally
-ordered and (nearly) uninterrupted via MMA path reservations.
+around a campus.  The scenario comes from the experiments registry
+(``campus``), tweaked declaratively: mobile hosts random-walk across the
+AP cell grid and hand off on every cell crossing; the protocol keeps
+delivery totally ordered and (nearly) uninterrupted via MMA path
+reservations.
 
 Run:  python examples/conference_mobile.py
 """
 
+import os
+
+from repro.experiments import build_scenario, registry
+from repro.membership import MembershipService
 from repro.metrics import (
     InterruptionCollector,
     LatencyCollector,
@@ -17,21 +23,24 @@ from repro.metrics import (
     ThroughputCollector,
     format_table,
 )
-from repro.membership import MembershipService
-from repro.workloads import campus_scenario
 
-DURATION = 15_000.0  # 15 simulated seconds
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION_MS", 15_000))
+WARMUP = DURATION / 7.5  # 2 s of the default 15 s run
 
-scenario = campus_scenario(
-    seed=11,
-    n_br=3, ags_per_br=3, aps_per_ag=3, mhs_per_ap=2,
-    s=2, rate_per_sec=15,
-    mean_dwell_ms=1_500.0,          # a handoff roughly every 1.5 s per MH
+spec = registry.get(
+    "campus",
     duration_ms=DURATION,
+    warmup_ms=0.0,
+    seed=11,
+    **{
+        "workload.rate_per_sec": 15.0,
+        "mobility.mean_dwell_ms": 1_500.0,  # a handoff every ~1.5 s per MH
+    },
 )
+scenario = build_scenario(spec)
 
 order = OrderChecker(scenario.sim.trace)
-latency = LatencyCollector(scenario.sim.trace, warmup=2_000.0)
+latency = LatencyCollector(scenario.sim.trace, warmup=WARMUP)
 throughput = ThroughputCollector(scenario.sim.trace)
 interruptions = InterruptionCollector(scenario.sim.trace)
 membership = MembershipService(scenario.net.cfg.gid, scenario.sim.trace)
@@ -43,7 +52,7 @@ agg_rate = scenario.fleet.aggregate_rate_per_sec
 rows = [
     {"metric": "aggregate source rate", "value": f"{agg_rate:.0f} msg/s"},
     {"metric": "per-MH goodput",
-     "value": f"{throughput.goodput(2_000, DURATION):.1f} msg/s"},
+     "value": f"{throughput.goodput(WARMUP, DURATION):.1f} msg/s"},
     {"metric": "handoffs driven",
      "value": str(scenario.mobility.handoffs_driven)},
     {"metric": "p50 delivery latency",

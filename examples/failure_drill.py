@@ -18,10 +18,17 @@ delivering the identical gap-accounted sequence.
 Run:  python examples/failure_drill.py
 """
 
+import os
+
 from repro.core import RingNet
 from repro.metrics import OrderChecker, format_table
 from repro.sim import Simulator
 from repro.topology import HierarchySpec
+
+# Fault times scale with the (env-overridable) drill length so a short
+# smoke run still exercises every injected failure.
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION_MS", 24_000))
+T = DURATION / 24_000.0
 
 sim = Simulator(seed=13)
 net = RingNet.build(sim, HierarchySpec(n_br=4, ags_per_br=2,
@@ -68,13 +75,13 @@ def merge() -> None:
 
 net.start()
 src.start()
-sim.schedule_at(3_000, crash_token_holder)
-sim.schedule_at(6_000, crash_ag_leader)
-sim.schedule_at(9_000, partition)
-sim.schedule_at(11_000, merge)
-sim.run(until=18_000)
+sim.schedule_at(3_000 * T, crash_token_holder)
+sim.schedule_at(6_000 * T, crash_ag_leader)
+sim.schedule_at(9_000 * T, partition)
+sim.schedule_at(11_000 * T, merge)
+sim.run(until=18_000 * T)
 src.stop()
-sim.run(until=24_000)
+sim.run(until=DURATION)
 
 order.assert_ok()
 print()

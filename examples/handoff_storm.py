@@ -14,6 +14,8 @@ AP must build its multicast path after the MH arrives.
 Run:  python examples/handoff_storm.py
 """
 
+import os
+
 from repro.core import ProtocolConfig, RingNet
 from repro.metrics import InterruptionCollector, OrderChecker, format_table
 from repro.mobility import CellGrid, DirectionalWalk, HandoffDriver
@@ -21,7 +23,7 @@ from repro.sim import Simulator
 from repro.topology import HierarchySpec
 from repro.topology.tiers import Tier
 
-DURATION = 20_000.0
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION_MS", 20_000))
 
 
 def storm(smooth: bool, seed: int = 5) -> dict:

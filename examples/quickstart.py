@@ -1,41 +1,36 @@
 #!/usr/bin/env python3
 """Quickstart: a totally-ordered multicast group in ~30 lines.
 
-Builds the paper's Figure-1 hierarchy (3 border routers in the top
-ordering ring, AG rings below, APs at the edge, 2 mobile hosts per AP),
-attaches two multicast sources, runs 10 simulated seconds, and shows
-that every mobile host delivered the *same* totally ordered stream.
+Builds the ``quickstart`` scenario from the experiments registry (the
+paper's Figure-1 hierarchy: 3 border routers in the top ordering ring,
+AG rings below, APs at the edge, 2 mobile hosts per AP, two multicast
+sources), runs 10 simulated seconds, and shows that every mobile host
+delivered the *same* totally ordered stream.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.sim import Simulator
-from repro.core import RingNet
-from repro.topology import HierarchySpec
+import os
+
+from repro.experiments import build_scenario, registry
 from repro.metrics import LatencyCollector, OrderChecker
 
-sim = Simulator(seed=7)
-net = RingNet.build(sim, HierarchySpec(n_br=3, ags_per_br=2,
-                                       aps_per_ag=2, mhs_per_ap=2))
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION_MS", 10_000))
+
+spec = registry.get("quickstart", duration_ms=DURATION, warmup_ms=0.0)
+scenario = build_scenario(spec)
 
 # Measurement taps on the trace bus.
-order = OrderChecker(sim.trace)
-latency = LatencyCollector(sim.trace, warmup=1_000.0)
+order = OrderChecker(scenario.sim.trace)
+latency = LatencyCollector(scenario.sim.trace, warmup=DURATION / 10)
 
-# Two senders, each feeding its own corresponding top-ring node.
-src_a = net.add_source(corresponding="br:0", rate_per_sec=20)
-src_b = net.add_source(corresponding="br:1", rate_per_sec=20)
+scenario.run()  # net + sources started, run to the spec's duration
 
-net.start()
-src_a.start()
-src_b.start(delay=7.0)  # de-phase the CBR streams
-
-sim.run(until=10_000)  # 10 simulated seconds
-
-print(f"sent:               {src_a.sent + src_b.sent} messages "
-      f"({src_a.sent} + {src_b.sent})")
-print(f"group members:      {len(net.member_hosts())} mobile hosts")
-print(f"app deliveries:     {net.total_app_deliveries()}")
+sent = scenario.fleet.total_sent
+print(f"sent:               {sent} messages across "
+      f"{len(scenario.fleet)} sources")
+print(f"group members:      {len(scenario.net.member_hosts())} mobile hosts")
+print(f"app deliveries:     {scenario.net.total_app_deliveries()}")
 print(f"latency (ms):       {latency.summary()}")
 
 order.assert_ok()
@@ -43,6 +38,6 @@ print("total order:        verified — every MH delivered the same "
       "sequence, no gaps, no duplicates")
 
 # Peek at one receiver's view of the stream.
-mh = net.member_hosts()[0]
+mh = scenario.net.member_hosts()[0]
 head = [(g, p) for g, p, _ in mh.app_log[:5]]
 print(f"{mh.guid} head of stream: {head}")

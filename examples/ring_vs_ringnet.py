@@ -13,13 +13,15 @@ growth as the group size N grows.
 Run:  python examples/ring_vs_ringnet.py
 """
 
+import os
+
 from repro.baselines import SingleRingMulticast
 from repro.core import ProtocolConfig, RingNet
 from repro.metrics import LatencyCollector, format_table
 from repro.sim import Simulator
 from repro.topology import HierarchySpec
 
-DURATION = 8_000.0
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION_MS", 8_000))
 RATE = 15.0
 CFG = ProtocolConfig(mq_retention=16)  # small retention isolates backlog
 

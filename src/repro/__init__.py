@@ -14,7 +14,10 @@ Package map
   sequencer comparators.
 * :mod:`repro.metrics` — collectors and the total-order checker.
 * :mod:`repro.analysis` — Theorem 5.1 bounds.
-* :mod:`repro.workloads` — sources, churn, scenarios.
+* :mod:`repro.workloads` — sources, churn, the runnable Scenario bundle.
+* :mod:`repro.experiments` — **declarative experiments**: specs, grids,
+  the parallel sweep runner, machine-readable results, the scenario
+  registry, and the ``python -m repro.experiments`` CLI.
 
 Quickstart
 ----------
@@ -28,6 +31,28 @@ Quickstart
 >>> sim.run(until=5000)
 >>> net.total_app_deliveries() > 0
 True
+
+Experiments
+-----------
+Evaluations are data, not scripts: an
+:class:`~repro.experiments.spec.ExperimentSpec` names a hierarchy
+shape, protocol knobs, workload, mobility/churn/failure dynamics, and a
+duration; it round-trips through JSON, expands over parameter grids
+with deterministically derived replication seeds, and runs serially or
+across worker processes with identical results either way::
+
+    from repro.experiments import registry, expand_grid, run_sweep, aggregate
+    base = registry.get("quickstart")
+    points = expand_grid(base, {"hierarchy.n_br": [3, 5, 7],
+                                "workload.rate_per_sec": [10, 50, 100]},
+                         replications=3)
+    rows = aggregate(run_sweep(points, jobs=4))
+
+or, from a shell::
+
+    python -m repro.experiments list
+    python -m repro.experiments run quickstart --duration 2000
+    python -m repro.experiments sweep --out results.json --jobs 4
 """
 
 __version__ = "1.0.0"

@@ -150,12 +150,14 @@ class UnorderedRingNet:
     @classmethod
     def build(cls, sim: Simulator, spec: HierarchySpec,
               wired: LinkSpec = WIRED, wireless: LinkSpec = WIRELESS,
-              attach_mhs: bool = True) -> "UnorderedRingNet":
+              attach_mhs: bool = True, rto: float = 25.0,
+              max_retries: int = 5) -> "UnorderedRingNet":
         """One-call construction matching ``RingNet.build``."""
         fabric = Fabric(sim)
         hierarchy = build_hierarchy(spec)
         provision_links(fabric, hierarchy, wired=wired, wireless=wireless)
-        net = cls(sim, fabric, hierarchy, wireless=wireless)
+        net = cls(sim, fabric, hierarchy, wireless=wireless, rto=rto,
+                  max_retries=max_retries)
         if attach_mhs:
             for mh_id, ap_id in initial_attachments(spec).items():
                 net.add_mobile_host(mh_id, ap_id)

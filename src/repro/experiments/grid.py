@@ -1,0 +1,114 @@
+"""Parameter-grid expansion: one spec per sweep point × replication.
+
+A sweep is a mapping of dotted override paths to value lists::
+
+    sweep = {"hierarchy.n_br": [3, 5, 7],
+             "workload.rate_per_sec": [10.0, 50.0, 100.0]}
+
+:func:`expand_grid` takes the cartesian product (axes in the mapping's
+order, values in list order — fully deterministic), replicates each
+point, and derives an independent per-run seed from the root seed via
+:func:`repro.sim.rand.derive_seed`, so replications are reproducible and
+uncorrelated regardless of which worker executes them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.rand import derive_seed
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One concrete run: a fully resolved spec plus its grid coordinates."""
+
+    spec: ExperimentSpec
+    point_index: int = 0
+    replication: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def run_id(self) -> str:
+        """Stable identifier, e.g. ``quickstart#p2r0``."""
+        return f"{self.spec.name}#p{self.point_index}r{self.replication}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (picklable/JSON-able for worker transport)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "point_index": self.point_index,
+            "replication": self.replication,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunPoint":
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            point_index=int(data["point_index"]),
+            replication=int(data["replication"]),
+            params=dict(data["params"]),
+            seed=int(data["seed"]),
+        )
+
+
+def expand_grid(
+    base: ExperimentSpec,
+    sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+    replications: int = 1,
+    root_seed: Optional[int] = None,
+) -> List[RunPoint]:
+    """Expand ``base`` × ``sweep`` × ``replications`` into run points.
+
+    Each point's spec is ``base`` with that point's overrides applied
+    and ``seed`` set to ``derive_seed(root_seed, point_index,
+    replication)`` (root defaults to ``base.seed``).  Sweeping ``seed``
+    explicitly disables the derivation for that axis.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    sweep = dict(sweep or {})
+    if "seed" in sweep and replications > 1:
+        # Every replication of a point would get the identical seed —
+        # n byte-identical runs masquerading as independent samples.
+        raise ValueError(
+            "sweeping 'seed' with replications > 1 duplicates runs; "
+            "use replications=1 for a seed axis (or drop the axis and "
+            "let replications derive seeds)")
+    for path, values in sweep.items():
+        if isinstance(values, (str, bytes)) or not isinstance(
+                values, (list, tuple)):
+            raise ValueError(
+                f"sweep axis {path!r} must be a list of values, "
+                f"got {values!r}"
+            )
+        if not values:
+            raise ValueError(f"sweep axis {path!r} is empty")
+    root = base.seed if root_seed is None else int(root_seed)
+
+    axes = list(sweep.keys())
+    combos = list(itertools.product(*(sweep[a] for a in axes))) or [()]
+    points: List[RunPoint] = []
+    for point_index, combo in enumerate(combos):
+        params = dict(zip(axes, combo))
+        for rep in range(replications):
+            overrides = dict(params)
+            if "seed" in params:
+                seed = int(params["seed"])
+            else:
+                seed = derive_seed(root, point_index, rep)
+                overrides["seed"] = seed
+            points.append(RunPoint(
+                spec=base.with_overrides(overrides),
+                point_index=point_index,
+                replication=rep,
+                params=params,
+                seed=seed,
+            ))
+    return points

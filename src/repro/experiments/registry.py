@@ -1,0 +1,251 @@
+"""Named scenario-spec library.
+
+Every entry is a factory producing a fresh :class:`ExperimentSpec`
+(callers can mutate or override freely), plus a one-line description and
+an optional *default sweep* — the parameter grid ``python -m
+repro.experiments sweep <name>`` expands when the user gives no axes of
+their own.
+
+This registry supersedes the ad-hoc builders that used to accrete in
+``workloads/scenarios.py``: a scenario here is data, so it can be
+listed, swept, serialized, and run identically from the CLI, a test, or
+a worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.experiments.spec import (ChurnSpec, ExperimentSpec, FailureEvent,
+                                    HierarchyShape, MobilitySpec,
+                                    WorkloadSpec)
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: factory + description + default sweep."""
+
+    name: str
+    description: str
+    factory: Callable[[], ExperimentSpec]
+    default_sweep: Optional[Dict[str, List[Any]]] = None
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register(name: str, description: str,
+             default_sweep: Optional[Dict[str, List[Any]]] = None):
+    """Decorator registering a spec factory under ``name``."""
+    def wrap(factory: Callable[[], ExperimentSpec]):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioEntry(name, description, factory,
+                                        default_sweep)
+        return factory
+    return wrap
+
+
+def names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def entry(name: str) -> ScenarioEntry:
+    """The full registry entry for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def get(name: str, **overrides: Any) -> ExperimentSpec:
+    """A fresh spec for ``name``, with optional dotted-path overrides
+    (e.g. ``get("quickstart", **{"workload.s": 4})``)."""
+    spec = entry(name).factory()
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec
+
+
+def default_sweep(name: str) -> Optional[Dict[str, List[Any]]]:
+    """The scenario's default parameter grid, or None."""
+    sweep = entry(name).default_sweep
+    return dict(sweep) if sweep is not None else None
+
+
+# ----------------------------------------------------------------------
+# The library
+# ----------------------------------------------------------------------
+@register("quickstart",
+          "Figure-1 hierarchy, two steady senders, static audience",
+          default_sweep={"hierarchy.n_br": [3, 4, 5],
+                         "workload.rate_per_sec": [10.0, 20.0]})
+def _quickstart() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="quickstart",
+        description="the paper's Figure-1 shape with two CBR senders",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(s=2, rate_per_sec=20.0),
+        duration_ms=10_000.0, warmup_ms=1_000.0, seed=7,
+    )
+
+
+@register("conference",
+          "§1 motivating workload: video conference, static audience")
+def _conference() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="conference",
+        description="few steady senders, every member sees one ordered "
+                    "stream",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=3),
+        workload=WorkloadSpec(s=2, rate_per_sec=20.0),
+        duration_ms=10_000.0, warmup_ms=1_000.0, seed=1,
+    )
+
+
+@register("campus",
+          "conference traffic plus random-walk roaming over the AP grid")
+def _campus() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="campus",
+        description="MHs random-walk across cells, handing off on every "
+                    "crossing",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=3, aps_per_ag=3,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(s=2, rate_per_sec=10.0),
+        mobility=MobilitySpec(enabled=True, model="random_walk",
+                              mean_dwell_ms=2_000.0),
+        duration_ms=15_000.0, warmup_ms=2_000.0, seed=1,
+    )
+
+
+@register("handoff_storm",
+          "sprinting MHs over an AP corridor; MMA reservations stressed",
+          default_sweep={"protocol.smooth_handoff": [True, False]})
+def _handoff_storm() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="handoff_storm",
+        description="short dwell + directional walk: a handoff every "
+                    "~600 ms per MH, dynamic AP paths",
+        hierarchy=HierarchyShape(n_br=2, ags_per_br=1, aps_per_ag=6,
+                                 mhs_per_ap=1),
+        protocol={"static_ap_paths": False, "smooth_handoff": True,
+                  "reservation_ttl": 5_000.0},
+        workload=WorkloadSpec(s=1, rate_per_sec=25.0),
+        mobility=MobilitySpec(enabled=True, model="directional",
+                              mean_dwell_ms=600.0, persistence=0.95),
+        duration_ms=20_000.0, warmup_ms=2_000.0, seed=5,
+    )
+
+
+@register("churn_heavy",
+          "aggressive join/leave churn against a steady stream")
+def _churn_heavy() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="churn_heavy",
+        description="a membership event every ~200 ms (E5's regime, "
+                    "turned up)",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        churn=ChurnSpec(enabled=True, mean_interval_ms=200.0,
+                        min_members=2),
+        duration_ms=12_000.0, warmup_ms=2_000.0, seed=3,
+    )
+
+
+@register("deep_hierarchy",
+          "§3 sub-tier nesting: three levels of AG rings below each BR")
+def _deep_hierarchy() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="deep_hierarchy",
+        description="scaling by adding tiers instead of widening rings",
+        hierarchy=HierarchyShape(n_br=2, ring_size=2, depth=3,
+                                 aps_per_ag=1, mhs_per_ap=1),
+        workload=WorkloadSpec(s=1, rate_per_sec=15.0),
+        duration_ms=8_000.0, warmup_ms=2_000.0, seed=1202,
+    )
+
+
+@register("failure_drill",
+          "token-holder crash, AG-leader crash: recovery under fire")
+def _failure_drill() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="failure_drill",
+        description="scheduled crashes exercise token regeneration and "
+                    "leader re-election mid-stream",
+        hierarchy=HierarchyShape(n_br=4, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        workload=WorkloadSpec(s=1, rate_per_sec=20.0),
+        failures=[
+            FailureEvent(at_ms=3_000.0, kind="crash_token_holder"),
+            FailureEvent(at_ms=6_000.0, kind="crash", target="ag:1.0"),
+        ],
+        duration_ms=15_000.0, warmup_ms=1_000.0, seed=13,
+    )
+
+
+@register("ring_vs_baselines",
+          "same workload across ringnet / unordered / single-ring",
+          default_sweep={"system": ["ringnet", "unordered", "single_ring"]})
+def _ring_vs_baselines() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="ring_vs_baselines",
+        description="distribution-vehicle comparison on one fixed shape",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        workload=WorkloadSpec(s=1, rate_per_sec=15.0),
+        duration_ms=10_000.0, warmup_ms=2_500.0, seed=606,
+    )
+
+
+@register("hotspot",
+          "one dominant sender, a tail of slow commenters (skewed s×λ)")
+def _hotspot() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="hotspot",
+        description="a 60 msg/s hot source plus two 10 msg/s sources: "
+                    "ordering fairness under skew",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(rates=[60.0, 10.0, 10.0]),
+        duration_ms=10_000.0, warmup_ms=2_000.0, seed=17,
+    )
+
+
+@register("bursty_sources",
+          "Poisson arrivals: bursty traffic instead of Theorem 5.1's CBR")
+def _bursty_sources() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="bursty_sources",
+        description="exponential inter-message gaps stress WQ/MQ sizing "
+                    "beyond the CBR analysis",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(s=3, rate_per_sec=30.0, pattern="poisson"),
+        duration_ms=10_000.0, warmup_ms=2_000.0, seed=23,
+    )
+
+
+@register("correlated_ap_failures",
+          "both APs of one AG crash at once (correlated edge outage)")
+def _correlated_ap_failures() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="correlated_ap_failures",
+        description="a whole AG's AP population fails simultaneously — "
+                    "a power/backhaul outage at one site",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        failures=[
+            FailureEvent(at_ms=5_000.0, kind="crash", target="ap:0.0.0"),
+            FailureEvent(at_ms=5_000.0, kind="crash", target="ap:0.0.1"),
+        ],
+        duration_ms=12_000.0, warmup_ms=2_000.0, seed=29,
+    )

@@ -1,0 +1,292 @@
+"""Build scenarios from specs and execute sweeps, serially or in parallel.
+
+* :func:`build_scenario` — turn an :class:`ExperimentSpec` into a
+  runnable :class:`~repro.workloads.scenarios.Scenario` (any system:
+  the RingNet protocol, the unordered flooding baseline, or the one-big
+  single-ring baseline of [16]).
+* :func:`run_point` — execute one run with the standard collector set
+  attached and distill a :class:`RunResult`.
+* :func:`run_sweep` — execute a list of :class:`RunPoint`\\ s; ``jobs > 1``
+  fans runs out to ``multiprocessing`` worker processes (each run is an
+  independent single-threaded simulation, so this is embarrassingly
+  parallel), ``jobs == 1`` is the serial fallback for debugging.
+  Results come back in submission order either way, and — because every
+  run's randomness is fully determined by its spec's seed — serial and
+  parallel execution produce identical results.
+
+Workers receive plain dicts (via ``RunPoint.to_dict``) and return plain
+dicts, so the pool works under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.grid import RunPoint
+from repro.experiments.results import RunResult
+from repro.experiments.spec import ExperimentSpec
+from repro.baselines.single_ring import SingleRingMulticast
+from repro.baselines.unordered import UnorderedRingNet
+from repro.core.protocol import RingNet
+from repro.metrics.collectors import LatencyCollector, ThroughputCollector
+from repro.metrics.order_checker import OrderChecker
+from repro.mobility.cells import CellGrid
+from repro.mobility.handoff import HandoffDriver
+from repro.mobility.models import DirectionalWalk, RandomWalk
+from repro.net.fabric import Fabric
+from repro.net.failure import FailureInjector
+from repro.sim.engine import Simulator
+from repro.topology.builder import (HierarchySpec, build_deep_hierarchy,
+                                    deep_initial_attachments,
+                                    provision_links)
+from repro.topology.tiers import Tier
+from repro.workloads.churn import ChurnDriver
+from repro.workloads.generators import weighted_sources
+from repro.workloads.scenarios import Scenario
+
+
+# ----------------------------------------------------------------------
+# Spec -> Scenario
+# ----------------------------------------------------------------------
+def _build_net(sim: Simulator, spec: ExperimentSpec):
+    shape = spec.hierarchy
+    cfg = spec.protocol_config()
+    if spec.system == "single_ring":
+        n_bs = shape.n_br * shape.ags_per_br * shape.aps_per_ag
+        return SingleRingMulticast.build_ring(
+            sim, n_bs=n_bs, mhs_per_bs=shape.mhs_per_ap, cfg=cfg)
+    if spec.system == "unordered":
+        if shape.depth > 1:
+            raise ValueError("the unordered baseline only supports depth=1")
+        # The baseline has no ordering machinery, so only the shared
+        # reliability knobs apply; anything else would be silently
+        # ignored — reject instead so comparisons stay apples-to-apples.
+        unsupported = sorted(set(spec.protocol) - {"rto", "max_retries"})
+        if unsupported:
+            raise ValueError(
+                f"protocol overrides {unsupported} have no effect on the "
+                f"unordered baseline (supported: rto, max_retries)")
+        return UnorderedRingNet.build(
+            sim, HierarchySpec(n_br=shape.n_br, ags_per_br=shape.ags_per_br,
+                               aps_per_ag=shape.aps_per_ag,
+                               mhs_per_ap=shape.mhs_per_ap),
+            rto=cfg.rto, max_retries=cfg.max_retries)
+    if shape.depth > 1:
+        fabric = Fabric(sim)
+        h = build_deep_hierarchy(n_br=shape.n_br, ring_size=shape.ring_size,
+                                 depth=shape.depth,
+                                 aps_per_ag=shape.aps_per_ag,
+                                 mhs_per_ap=shape.mhs_per_ap)
+        provision_links(fabric, h)
+        net = RingNet(sim, fabric, h, cfg=cfg)
+        for mh, ap in deep_initial_attachments(h).items():
+            net.add_mobile_host(mh, ap)
+        return net
+    return RingNet.build(
+        sim, HierarchySpec(n_br=shape.n_br, ags_per_br=shape.ags_per_br,
+                           aps_per_ag=shape.aps_per_ag,
+                           mhs_per_ap=shape.mhs_per_ap),
+        cfg=cfg)
+
+
+def _mobility_model(spec: ExperimentSpec):
+    m = spec.mobility
+    if m.model == "directional":
+        return DirectionalWalk(mean_dwell_ms=m.mean_dwell_ms,
+                               persistence=m.persistence)
+    return RandomWalk(mean_dwell_ms=m.mean_dwell_ms, stay_prob=m.stay_prob)
+
+
+def _schedule_failures(sim: Simulator, net, spec: ExperimentSpec) -> None:
+    injector = FailureInjector(net.fabric)
+
+    def crash_token_holder() -> None:
+        holder = next((ne for ne in net.top_ring_nes()
+                       if ne.held_token is not None), None)
+        victim = holder.id if holder is not None \
+            else net.hierarchy.top_ring.members[-1]
+        net.crash_ne(victim)
+
+    for ev in spec.failures:
+        if ev.kind == "crash":
+            if hasattr(net, "crash_ne"):
+                sim.schedule_at(ev.at_ms, net.crash_ne, ev.target)
+            else:
+                sim.schedule_at(ev.at_ms, injector.crash_node, ev.target)
+        elif ev.kind == "recover":
+            if hasattr(net, "crash_ne"):
+                # A token-passing crash removes the NE from the topology
+                # (maintenance re-forms the rings around it); flipping
+                # fabric state back would NOT rejoin it, so a "recover"
+                # would silently measure a permanent crash.
+                raise ValueError(
+                    "recover is not supported for token-passing systems: "
+                    "crash permanently removes the NE from the topology")
+            sim.schedule_at(ev.at_ms, injector.recover_node, ev.target)
+        elif ev.kind == "link_down":
+            sim.schedule_at(ev.at_ms, injector.link_down, ev.target,
+                            ev.target2)
+        elif ev.kind == "link_up":
+            sim.schedule_at(ev.at_ms, injector.link_up, ev.target, ev.target2)
+        elif ev.kind == "crash_token_holder":
+            if not hasattr(net, "top_ring_nes"):
+                raise ValueError(
+                    "crash_token_holder requires a token-passing system")
+            sim.schedule_at(ev.at_ms, crash_token_holder)
+
+
+def build_scenario(spec: ExperimentSpec) -> Scenario:
+    """Materialize a spec: simulator, protocol, workload, dynamics."""
+    sim = Simulator(seed=spec.seed)
+    net = _build_net(sim, spec)
+    fleet = weighted_sources(net, spec.workload.source_rates,
+                             pattern=spec.workload.pattern)
+
+    grid = mobility = None
+    if spec.mobility.enabled:
+        if spec.system != "ringnet":
+            raise ValueError(
+                f"mobility requires the ringnet system, not {spec.system!r}")
+        aps = net.hierarchy.nodes_of_tier(Tier.AP)
+        if not aps:
+            raise ValueError("mobility needs at least one AP in the shape")
+        grid = CellGrid.square_for(aps)
+        mobility = HandoffDriver(net, grid, _mobility_model(spec))
+
+    churn = None
+    if spec.churn.enabled:
+        aps = net.hierarchy.nodes_of_tier(Tier.AP) or \
+            net.hierarchy.top_ring.members
+        churn = ChurnDriver(net, aps,
+                            mean_interval_ms=spec.churn.mean_interval_ms,
+                            min_members=spec.churn.min_members)
+
+    if spec.failures:
+        _schedule_failures(sim, net, spec)
+
+    return Scenario(sim=sim, net=net, fleet=fleet, grid=grid,
+                    mobility=mobility, churn=churn,
+                    duration_ms=spec.duration_ms,
+                    stagger_ms=spec.workload.stagger_ms)
+
+
+# ----------------------------------------------------------------------
+# One run
+# ----------------------------------------------------------------------
+def _total_retransmissions(net) -> int:
+    total = 0
+    for group in (net.nes.values(), net.mobile_hosts.values(),
+                  net.sources.values()):
+        for node in group:
+            chan = getattr(node, "chan", None)
+            if chan is not None:
+                total += chan.stats.retransmitted
+    return total
+
+
+def _peak_buffer(net) -> int:
+    reports = getattr(net, "buffer_reports", None)
+    if reports is None:
+        return 0
+    return max((r["wq_peak"] + r["mq_peak"] for r in reports()), default=0)
+
+
+def run_point(point: Union[RunPoint, ExperimentSpec]) -> RunResult:
+    """Execute one run and distill its :class:`RunResult`.
+
+    Accepts either a grid :class:`RunPoint` or a bare spec (treated as a
+    single point, replication 0).
+    """
+    if isinstance(point, ExperimentSpec):
+        point = RunPoint(spec=point, params={}, seed=point.seed)
+    spec = point.spec
+
+    wall_start = time.perf_counter()
+    scenario = build_scenario(spec)
+    trace = scenario.sim.trace
+
+    order = OrderChecker(trace) if spec.system != "unordered" else None
+    latency = LatencyCollector(trace, warmup=spec.warmup_ms)
+    throughput = ThroughputCollector(trace)
+    counters = {"mh.handoff": 0, "mh.tombstone": 0}
+    for topic in counters:
+        trace.subscribe(
+            topic,
+            lambda rec, t=topic: counters.__setitem__(t, counters[t] + 1))
+
+    scenario.run()
+
+    net = scenario.net
+    t0, t1 = spec.warmup_ms, spec.duration_ms
+    return RunResult(
+        run_id=point.run_id,
+        name=spec.name,
+        system=spec.system,
+        params=dict(point.params),
+        point_index=point.point_index,
+        replication=point.replication,
+        seed=spec.seed,
+        duration_ms=spec.duration_ms,
+        warmup_ms=spec.warmup_ms,
+        sent=scenario.fleet.total_sent,
+        delivered=net.total_app_deliveries(),
+        goodput=throughput.goodput(t0, t1),
+        sent_rate=throughput.sent_rate(t0, t1),
+        min_goodput=throughput.min_goodput(t0, t1),
+        latency=latency.summary(),
+        order_checked=order is not None,
+        order_violations=len(order.violations) if order is not None else 0,
+        retransmissions=_total_retransmissions(net),
+        handoffs=counters["mh.handoff"],
+        tombstones=counters["mh.tombstone"],
+        members=len(net.member_hosts()),
+        peak_buffer=_peak_buffer(net),
+        wall_time_s=time.perf_counter() - wall_start,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: dict in, dict out (picklable under fork and spawn)."""
+    return run_point(RunPoint.from_dict(payload)).to_dict()
+
+
+def run_sweep(
+    points: Sequence[RunPoint],
+    jobs: int = 1,
+    progress: Optional[Callable[[int, int, RunResult], None]] = None,
+) -> List[RunResult]:
+    """Execute every point; returns results in submission order.
+
+    ``jobs > 1`` uses a ``multiprocessing.Pool`` of that many worker
+    processes.  ``progress`` (serial mode and parallel mode alike) is
+    called as ``progress(i, total, result)`` as finished results are
+    collected, in submission order.
+    """
+    points = list(points)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(points) <= 1:
+        results = []
+        for i, point in enumerate(points):
+            result = run_point(point)
+            results.append(result)
+            if progress is not None:
+                progress(i, len(points), result)
+        return results
+
+    payloads = [p.to_dict() for p in points]
+    with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
+        done = 0
+        results_by_index: Dict[int, RunResult] = {}
+        for index, raw in enumerate(pool.imap(_run_point_payload, payloads)):
+            result = RunResult.from_dict(raw)
+            results_by_index[index] = result
+            if progress is not None:
+                progress(done, len(points), result)
+            done += 1
+    return [results_by_index[i] for i in range(len(points))]

@@ -1,0 +1,290 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes one complete simulation run — the
+hierarchy shape, the protocol tunables, the traffic workload, mobility,
+churn, and injected failures — as plain data.  Specs round-trip through
+dicts and JSON, so a sweep definition can live in a file, travel to a
+worker process, or be diffed between two experiment campaigns.
+
+The spec layer is deliberately free of simulator imports (and of numpy):
+building a runnable scenario from a spec is the job of
+:mod:`repro.experiments.runner`.  The only protocol knowledge here is the
+set of valid :class:`~repro.core.config.ProtocolConfig` field names,
+checked lazily when :meth:`ExperimentSpec.protocol_config` is called.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Systems the runner knows how to build.  ``ringnet`` is the paper's
+#: protocol; the others are the comparison baselines.
+SYSTEMS = ("ringnet", "unordered", "single_ring")
+
+#: Traffic arrival patterns understood by MulticastSource.
+PATTERNS = ("cbr", "poisson")
+
+#: Mobility models the runner can instantiate.
+MOBILITY_MODELS = ("random_walk", "directional")
+
+#: Failure-event kinds the runner can apply.
+FAILURE_KINDS = ("crash", "recover", "link_down", "link_up",
+                 "crash_token_holder")
+
+
+def _check_no_unknown_keys(cls: type, data: Mapping[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys {unknown}; valid keys: "
+            f"{sorted(known)}"
+        )
+
+
+@dataclass
+class HierarchyShape:
+    """Shape of the RingNet hierarchy (paper Figure 1, plus §3 nesting).
+
+    ``depth == 1`` is the regular BR/AG/AP shape built by
+    ``HierarchySpec``; ``depth > 1`` nests ``depth`` levels of AG rings
+    of ``ring_size`` members below every BR (the §3 sub-tier extension),
+    in which case ``ags_per_br`` is ignored.
+    """
+
+    n_br: int = 3
+    ags_per_br: int = 2
+    aps_per_ag: int = 2
+    mhs_per_ap: int = 2
+    depth: int = 1
+    ring_size: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_br < 1:
+            raise ValueError("n_br must be >= 1")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HierarchyShape":
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass
+class WorkloadSpec:
+    """The s × λ traffic of the §5 analysis, with optional skew.
+
+    ``rates`` (when given) lists an explicit per-source rate for each of
+    the sources — the hotspot/heterogeneous case; it overrides ``s`` and
+    ``rate_per_sec``.  ``pattern`` is ``cbr`` (Theorem 5.1's workload) or
+    ``poisson`` (bursty arrivals with the same mean).
+    """
+
+    s: int = 2
+    rate_per_sec: float = 20.0
+    pattern: str = "cbr"
+    rates: Optional[List[float]] = None
+    stagger_ms: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"pattern must be one of {PATTERNS}")
+        if self.rates is None and self.s < 1:
+            raise ValueError("need at least one source")
+
+    @property
+    def source_rates(self) -> List[float]:
+        """The concrete per-source rate list this workload describes."""
+        if self.rates is not None:
+            return [float(r) for r in self.rates]
+        return [float(self.rate_per_sec)] * int(self.s)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass
+class MobilitySpec:
+    """Cell-grid roaming knobs (only meaningful for the ringnet system)."""
+
+    enabled: bool = False
+    model: str = "random_walk"
+    mean_dwell_ms: float = 2000.0
+    persistence: float = 0.8
+    stay_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.model not in MOBILITY_MODELS:
+            raise ValueError(f"model must be one of {MOBILITY_MODELS}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MobilitySpec":
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass
+class ChurnSpec:
+    """Join/leave churn knobs (see :class:`repro.workloads.ChurnDriver`)."""
+
+    enabled: bool = False
+    mean_interval_ms: float = 500.0
+    min_members: int = 1
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnSpec":
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass
+class FailureEvent:
+    """One scheduled fault.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`.  ``target`` names a node
+    (``crash``/``recover``), or the first endpoint of a link
+    (``link_down``/``link_up``, with ``target2`` the second endpoint).
+    ``crash_token_holder`` needs no target: the runner crashes whichever
+    top-ring NE holds the OrderingToken at ``at_ms``.
+    """
+
+    at_ms: float = 0.0
+    kind: str = "crash"
+    target: Optional[str] = None
+    target2: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(f"kind must be one of {FAILURE_KINDS}")
+        if self.kind in ("crash", "recover") and not self.target:
+            raise ValueError(f"{self.kind} needs a target node id")
+        if self.kind in ("link_down", "link_up") and not (
+                self.target and self.target2):
+            raise ValueError(f"{self.kind} needs target and target2")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureEvent":
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, serializable description of one simulation run."""
+
+    name: str = "experiment"
+    description: str = ""
+    system: str = "ringnet"
+    hierarchy: HierarchyShape = field(default_factory=HierarchyShape)
+    protocol: Dict[str, Any] = field(default_factory=dict)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    failures: List[FailureEvent] = field(default_factory=list)
+    duration_ms: float = 10_000.0
+    warmup_ms: float = 2_000.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"system must be one of {SYSTEMS}")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if not 0 <= self.warmup_ms < self.duration_ms:
+            raise ValueError("need 0 <= warmup_ms < duration_ms")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready, stable key order)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild from :meth:`to_dict` output (partial dicts allowed:
+        omitted sections keep their defaults)."""
+        _check_no_unknown_keys(cls, data)
+        kwargs: Dict[str, Any] = dict(data)
+        if "hierarchy" in kwargs:
+            kwargs["hierarchy"] = HierarchyShape.from_dict(kwargs["hierarchy"])
+        if "workload" in kwargs:
+            kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "mobility" in kwargs:
+            kwargs["mobility"] = MobilitySpec.from_dict(kwargs["mobility"])
+        if "churn" in kwargs:
+            kwargs["churn"] = ChurnSpec.from_dict(kwargs["churn"])
+        if "failures" in kwargs:
+            kwargs["failures"] = [FailureEvent.from_dict(f)
+                                  for f in kwargs["failures"]]
+        if "protocol" in kwargs:
+            kwargs["protocol"] = dict(kwargs["protocol"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form (sorted keys, so equal specs serialize identically)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def copy(self) -> "ExperimentSpec":
+        """An independent deep copy."""
+        return copy.deepcopy(self)
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+        """A new spec with dotted-path overrides applied.
+
+        Paths address nested sections: ``{"hierarchy.n_br": 5,
+        "workload.rate_per_sec": 50.0, "protocol.tau": 2.0,
+        "system": "unordered"}``.  The original spec is not modified;
+        values are validated by reconstructing the dataclasses.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            node: Any = data
+            parts = path.split(".")
+            for part in parts[:-1]:
+                if isinstance(node, list):
+                    node = node[int(part)]
+                elif part in node:
+                    node = node[part]
+                else:
+                    raise KeyError(f"no such spec section {part!r} "
+                                   f"(in override {path!r})")
+                if not isinstance(node, (dict, list)):
+                    raise KeyError(f"cannot descend into scalar {part!r} "
+                                   f"(in override {path!r})")
+            leaf = parts[-1]
+            if isinstance(node, list):
+                node[int(leaf)] = value
+            else:
+                # `protocol` is an open dict (any ProtocolConfig field);
+                # everywhere else the key must already exist.
+                if leaf not in node and parts[:-1] != ["protocol"]:
+                    raise KeyError(f"unknown spec field {path!r}")
+                node[leaf] = value
+        return type(self).from_dict(data)
+
+    def protocol_config(self):
+        """The :class:`~repro.core.config.ProtocolConfig` this spec's
+        ``protocol`` overrides describe (defaults elsewhere)."""
+        from repro.core.config import ProtocolConfig  # late: keep spec.py light
+        valid = {f.name for f in fields(ProtocolConfig)}
+        unknown = sorted(set(self.protocol) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown ProtocolConfig fields {unknown}; valid: "
+                f"{sorted(valid)}"
+            )
+        return ProtocolConfig(**self.protocol)

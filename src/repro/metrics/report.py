@@ -7,29 +7,57 @@ and deterministic (stable column order) matters more than prettiness.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Sequence
 
-import numpy as np
+try:  # numpy is optional here so experiment workers / the CLI can run
+    import numpy as np  # without it (pure-python fallback below).
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+
+def _percentile_py(sorted_vals: List[float], q: float) -> float:
+    """Linear-interpolation percentile matching numpy's default method."""
+    n = len(sorted_vals)
+    if n == 1:
+        return sorted_vals[0]
+    pos = (n - 1) * min(max(q, 0.0), 100.0) / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return sorted_vals[lo]
+    return sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (pos - lo)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The q-th percentile (0-100) of ``values``; 0.0 when empty."""
     if not len(values):
         return 0.0
-    return float(np.percentile(np.asarray(values, dtype=float), q))
+    if np is not None:
+        return float(np.percentile(np.asarray(values, dtype=float), q))
+    return _percentile_py(sorted(float(v) for v in values), q)
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
     """mean / p50 / p95 / p99 / max summary of a sample."""
     if not len(values):
         return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
-    arr = np.asarray(values, dtype=float)
+    if np is not None:
+        arr = np.asarray(values, dtype=float)
+        return {
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": float(arr.max()),
+        }
+    vals = sorted(float(v) for v in values)
     return {
-        "mean": float(arr.mean()),
-        "p50": float(np.percentile(arr, 50)),
-        "p95": float(np.percentile(arr, 95)),
-        "p99": float(np.percentile(arr, 99)),
-        "max": float(arr.max()),
+        "mean": math.fsum(vals) / len(vals),
+        "p50": _percentile_py(vals, 50),
+        "p95": _percentile_py(vals, 95),
+        "p99": _percentile_py(vals, 99),
+        "max": vals[-1],
     }
 
 

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
+try:  # numpy only appears in a (lazily evaluated) type annotation
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from repro.mobility.cells import Cell, CellGrid
 

@@ -9,14 +9,66 @@ simulation studies.
 Streams are lazily created ``numpy.random.Generator`` instances whose
 seeds derive from the master seed and the stream name via
 ``numpy.random.SeedSequence``; names are stable across runs and platforms.
+When numpy is unavailable, a pure-python stand-in backed by
+``random.Random`` provides the three draw methods the simulator uses
+(``random`` / ``exponential`` / ``integers``) — draws differ from the
+numpy streams but stay deterministic for a fixed seed, so experiment
+replay still holds within either mode.
 """
 
 from __future__ import annotations
 
+import hashlib
+import random as _pyrandom
 import zlib
-from typing import Dict
+from typing import Dict, Optional
 
-import numpy as np
+try:  # optional: the simulator degrades to python's Mersenne Twister
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+
+def derive_seed(root_seed: int, *path: object) -> int:
+    """Derive a child seed from ``root_seed`` and a key path.
+
+    SHA-256 over the decimal root seed and the stringified path keys,
+    truncated to 63 bits — deterministic across platforms, processes,
+    and Python versions (no ``hash()`` randomization, no numpy needed).
+    Replications and sweep points use this instead of ad-hoc
+    ``seed + i`` arithmetic, which correlates nearby streams.
+    """
+    h = hashlib.sha256(str(int(root_seed)).encode("ascii"))
+    for key in path:
+        h.update(b"/")
+        h.update(str(key).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+class PurePythonGenerator:
+    """Minimal ``numpy.random.Generator`` stand-in (no numpy needed).
+
+    Covers exactly the draw methods the simulator pulls from its named
+    streams: uniform ``random()``, ``exponential(scale)``, and
+    ``integers(n)`` / ``integers(low, high)`` with numpy's half-open
+    interval convention.
+    """
+
+    __slots__ = ("_random",)
+
+    def __init__(self, seed: int):
+        self._random = _pyrandom.Random(seed)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def exponential(self, scale: float = 1.0) -> float:
+        return self._random.expovariate(1.0 / scale)
+
+    def integers(self, low: int, high: Optional[int] = None) -> int:
+        if high is None:
+            low, high = 0, low
+        return self._random.randrange(low, high)
 
 
 class RandomStreams:
@@ -24,18 +76,33 @@ class RandomStreams:
 
     def __init__(self, master_seed: int = 0):
         self.master_seed = int(master_seed)
-        self._streams: Dict[str, np.random.Generator] = {}
+        self._streams: Dict[str, object] = {}
 
-    def get(self, name: str) -> np.random.Generator:
+    def get(self, name: str):
         """Return (creating on first use) the generator for ``name``."""
         gen = self._streams.get(name)
         if gen is None:
-            # crc32 gives a stable, platform-independent hash of the name.
-            tag = zlib.crc32(name.encode("utf-8"))
-            seq = np.random.SeedSequence(entropy=self.master_seed, spawn_key=(tag,))
-            gen = np.random.default_rng(seq)
+            if np is not None:
+                # crc32: a stable, platform-independent hash of the name.
+                tag = zlib.crc32(name.encode("utf-8"))
+                seq = np.random.SeedSequence(entropy=self.master_seed,
+                                             spawn_key=(tag,))
+                gen = np.random.default_rng(seq)
+            else:
+                gen = PurePythonGenerator(
+                    derive_seed(self.master_seed, "stream", name))
             self._streams[name] = gen
         return gen
+
+    def spawn(self, run_index: object) -> "RandomStreams":
+        """A fresh :class:`RandomStreams` for replication ``run_index``.
+
+        The child's master seed derives from this instance's seed and
+        the index via :func:`derive_seed`, so every replication gets
+        independent, reproducible streams — no shared state with the
+        parent or with siblings.
+        """
+        return RandomStreams(derive_seed(self.master_seed, "spawn", run_index))
 
     def reset(self) -> None:
         """Drop all streams; next access recreates them from scratch."""

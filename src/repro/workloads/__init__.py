@@ -5,17 +5,21 @@
   ring, the shape §5 analyzes (s sources × λ msg/s each).
 * :mod:`repro.workloads.churn` — join/leave churn scripts driving MH
   membership over time.
-* :mod:`repro.workloads.scenarios` — end-to-end scenario builders used
-  by the examples and benchmarks (conference, campus, stress).
+* :mod:`repro.workloads.scenarios` — the runnable :class:`Scenario`
+  bundle plus compatibility builders (conference, campus); new
+  scenarios belong in :mod:`repro.experiments.registry` as declarative
+  specs.
 """
 
-from repro.workloads.generators import SourceFleet, uniform_sources
+from repro.workloads.generators import (SourceFleet, uniform_sources,
+                                        weighted_sources)
 from repro.workloads.churn import ChurnDriver
 from repro.workloads.scenarios import Scenario, conference_scenario, campus_scenario
 
 __all__ = [
     "SourceFleet",
     "uniform_sources",
+    "weighted_sources",
     "ChurnDriver",
     "Scenario",
     "conference_scenario",

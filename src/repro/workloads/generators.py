@@ -48,16 +48,27 @@ def uniform_sources(net, s: int, rate_per_sec: float,
     unordered baseline).  The paper assumes s ≤ r (at most one source
     per top-ring node); this helper enforces it.
     """
+    return weighted_sources(net, [rate_per_sec] * s, pattern=pattern)
+
+
+def weighted_sources(net, rates: Sequence[float],
+                     pattern: str = "cbr") -> SourceFleet:
+    """Attach one source per entry of ``rates``, round-robin over the
+    top ring — the heterogeneous/hotspot workload (e.g. one dominant
+    sender at 60 msg/s and a tail of 10 msg/s commenters).
+
+    Like :func:`uniform_sources`, enforces the paper's s ≤ r assumption.
+    """
     top = net.hierarchy.top_ring.members
-    if s > len(top):
+    if len(rates) > len(top):
         raise ValueError(
-            f"paper §5 assumes s <= r: requested {s} sources for a "
-            f"top ring of {len(top)}"
+            f"paper §5 assumes s <= r: requested {len(rates)} sources "
+            f"for a top ring of {len(top)}"
         )
     fleet = SourceFleet()
-    for i in range(s):
+    for i, rate in enumerate(rates):
         fleet.sources.append(
-            net.add_source(corresponding=top[i], rate_per_sec=rate_per_sec,
+            net.add_source(corresponding=top[i], rate_per_sec=rate,
                            pattern=pattern)
         )
     return fleet

@@ -1,46 +1,59 @@
 """Canned end-to-end scenarios for examples and benchmarks.
 
-Each builder returns a :class:`Scenario` bundling the simulator, the
-protocol instance, the traffic fleet, and (optionally) mobility — ready
-to ``run()``.
+A :class:`Scenario` bundles the simulator, the protocol instance, the
+traffic fleet, and (optionally) mobility and churn — ready to ``run()``.
+
+Since the :mod:`repro.experiments` subsystem landed, scenarios are built
+from declarative :class:`~repro.experiments.spec.ExperimentSpec` objects
+by :func:`repro.experiments.runner.build_scenario`; the named builders
+here (`conference_scenario`, `campus_scenario`) are thin wrappers that
+assemble a spec and delegate, kept for API compatibility and as the
+shortest path from "I want a runnable conference" to a `Scenario`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import RingNet
 from repro.mobility.cells import CellGrid
 from repro.mobility.handoff import HandoffDriver
-from repro.mobility.models import MobilityModel, RandomWalk
+from repro.mobility.models import MobilityModel
 from repro.sim.engine import Simulator
-from repro.topology.builder import HierarchySpec
-from repro.topology.tiers import Tier
-from repro.workloads.generators import SourceFleet, uniform_sources
+from repro.workloads.churn import ChurnDriver
+from repro.workloads.generators import SourceFleet
 
 
 @dataclass
 class Scenario:
-    """A runnable bundle: simulator + protocol + workload + mobility."""
+    """A runnable bundle: simulator + protocol + workload + dynamics."""
 
     sim: Simulator
     net: RingNet
     fleet: SourceFleet
     grid: Optional[CellGrid] = None
     mobility: Optional[HandoffDriver] = None
+    churn: Optional[ChurnDriver] = None
     duration_ms: float = 10_000.0
+    stagger_ms: float = 3.0
 
     def run(self, until: Optional[float] = None) -> None:
         """Start everything and run to ``until`` (or the duration)."""
         self.net.start()
-        self.fleet.start(stagger=3.0)
+        self.fleet.start(stagger=self.stagger_ms)
         if self.mobility is not None:
             for mh_id, mh in self.net.mobile_hosts.items():
                 if mh.ap is not None:
                     self.mobility.track(mh_id, mh.ap)
+        if self.churn is not None:
+            self.churn.start()
         self.sim.run(until=until if until is not None else self.duration_ms)
+
+
+def _protocol_overrides(cfg: Optional[ProtocolConfig]) -> dict:
+    return {} if cfg is None else asdict(cfg)
 
 
 def conference_scenario(
@@ -60,12 +73,22 @@ def conference_scenario(
     learning"): low sender count, every member must see the same totally
     ordered stream.
     """
-    sim = Simulator(seed=seed)
-    spec = HierarchySpec(n_br=n_br, ags_per_br=ags_per_br,
-                         aps_per_ag=aps_per_ag, mhs_per_ap=mhs_per_ap)
-    net = RingNet.build(sim, spec, cfg=cfg)
-    fleet = uniform_sources(net, s=s, rate_per_sec=rate_per_sec)
-    return Scenario(sim=sim, net=net, fleet=fleet, duration_ms=duration_ms)
+    from repro.experiments.runner import build_scenario
+    from repro.experiments.spec import (ExperimentSpec, HierarchyShape,
+                                        WorkloadSpec)
+
+    spec = ExperimentSpec(
+        name="conference",
+        hierarchy=HierarchyShape(n_br=n_br, ags_per_br=ags_per_br,
+                                 aps_per_ag=aps_per_ag,
+                                 mhs_per_ap=mhs_per_ap),
+        workload=WorkloadSpec(s=s, rate_per_sec=rate_per_sec),
+        protocol=_protocol_overrides(cfg),
+        duration_ms=duration_ms,
+        warmup_ms=0.0,
+        seed=seed,
+    )
+    return build_scenario(spec)
 
 
 def campus_scenario(
@@ -85,16 +108,27 @@ def campus_scenario(
 
     All APs form one grid; MHs random-walk across it, handing off on
     every cell crossing — the paper's "frequent handoff" regime when
-    ``mean_dwell_ms`` is small.
+    ``mean_dwell_ms`` is small.  Pass a :class:`MobilityModel` instance
+    to substitute a custom movement model.
     """
-    sim = Simulator(seed=seed)
-    spec = HierarchySpec(n_br=n_br, ags_per_br=ags_per_br,
-                         aps_per_ag=aps_per_ag, mhs_per_ap=mhs_per_ap)
-    net = RingNet.build(sim, spec, cfg=cfg)
-    fleet = uniform_sources(net, s=s, rate_per_sec=rate_per_sec)
-    aps = net.hierarchy.nodes_of_tier(Tier.AP)
-    grid = CellGrid.square_for(aps)
-    mobility = HandoffDriver(net, grid,
-                             model or RandomWalk(mean_dwell_ms=mean_dwell_ms))
-    return Scenario(sim=sim, net=net, fleet=fleet, grid=grid,
-                    mobility=mobility, duration_ms=duration_ms)
+    from repro.experiments.runner import build_scenario
+    from repro.experiments.spec import (ExperimentSpec, HierarchyShape,
+                                        MobilitySpec, WorkloadSpec)
+
+    spec = ExperimentSpec(
+        name="campus",
+        hierarchy=HierarchyShape(n_br=n_br, ags_per_br=ags_per_br,
+                                 aps_per_ag=aps_per_ag,
+                                 mhs_per_ap=mhs_per_ap),
+        workload=WorkloadSpec(s=s, rate_per_sec=rate_per_sec),
+        mobility=MobilitySpec(enabled=True, model="random_walk",
+                              mean_dwell_ms=mean_dwell_ms),
+        protocol=_protocol_overrides(cfg),
+        duration_ms=duration_ms,
+        warmup_ms=0.0,
+        seed=seed,
+    )
+    scenario = build_scenario(spec)
+    if model is not None:
+        scenario.mobility.model = model
+    return scenario
