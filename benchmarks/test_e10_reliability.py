@@ -55,7 +55,7 @@ def run_cell(loss: float, max_retries: int = 5) -> dict:
         "worst MH ratio": round(rel.worst_mh_ratio(), 4),
         "accounted (min MH)": f"{accounted}/{src.sent}",
         "wedged NEs": wedged,
-        "order violations": len(checker.violations),
+        "order violations": checker.violation_count,
     }
 
 

@@ -66,7 +66,7 @@ def churn_run() -> dict:
         "leaves": churn.leaves,
         "final members": len(net.member_hosts()),
         "deliveries checked": checker.deliveries_checked,
-        "order violations": len(checker.violations),
+        "order violations": checker.violation_count,
         "events": svc.updates_without_batching(),
         "batched updates": svc.updates_with_batching(),
     }

@@ -92,6 +92,6 @@ counts = sorted(m.delivered_count + m.tombstones
 print(f"sent {src.sent}; per-surviving-MH accounted "
       f"(delivered+tombstoned): {counts[0]}..{counts[-1]}")
 print(f"total order verified across {order.deliveries_checked} deliveries, "
-      f"{len(order.violations)} violations")
+      f"{order.violation_count} violations")
 regens = sum(ne.tokens_regenerated for ne in net.nes.values())
 print(f"token regenerations: {regens}")

@@ -18,6 +18,11 @@ Package map
 * :mod:`repro.experiments` — **declarative experiments**: specs, grids,
   the parallel sweep runner, machine-readable results, the scenario
   registry, and the ``python -m repro.experiments`` CLI.
+* :mod:`repro.validation` — **machine-checked conformance**: online
+  protocol-invariant monitors (token uniqueness/liveness, membership
+  consistency, handoff atomicity, buffer boundedness, post-failure
+  recovery), deterministic trace record/replay/diff, and a
+  scenario-fuzzing harness (``python -m repro.validation``).
 
 Quickstart
 ----------
@@ -53,6 +58,22 @@ or, from a shell::
     python -m repro.experiments list
     python -m repro.experiments run quickstart --duration 2000
     python -m repro.experiments sweep --out results.json --jobs 4
+
+Validation
+----------
+Every run can carry the full protocol-invariant monitor suite — pure
+observers, so checked and unchecked runs are byte-identical::
+
+    python -m repro.experiments run failure_drill --check
+
+and randomized-but-seeded conformance campaigns, trace recording,
+offline replay, and first-divergence diffing live under
+``python -m repro.validation``::
+
+    python -m repro.validation fuzz --budget 50 --duration 3000
+    python -m repro.validation record quickstart --out a.jsonl
+    python -m repro.validation replay a.jsonl
+    python -m repro.validation diff a.jsonl b.jsonl
 """
 
 __version__ = "1.0.0"

@@ -87,8 +87,11 @@ class BaselineMH(NetNode):
         """Deregister from the old serving node, register at the new."""
         old = self.ap
         if old is not None and old != new_ap:
-            self.chan.send(old, Deregister(self.guid))
+            # Cancel before sending (not after) so the Deregister keeps
+            # its retransmission state on a lossy access link — same fix
+            # as MobileHost.handoff_to.
             self.chan.cancel_all(old)
+            self.chan.send(old, Deregister(self.guid))
         self.ap = new_ap
         self.handoffs += 1
         self.chan.send(new_ap, Register(self.guid))

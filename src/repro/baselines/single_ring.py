@@ -25,6 +25,7 @@ from repro.net.address import NodeId, make_id
 from repro.net.fabric import Fabric
 from repro.net.link import LinkSpec, WIRED, WIRELESS
 from repro.sim.engine import Simulator
+from repro.topology.builder import provision_links
 from repro.topology.hierarchy import Hierarchy
 from repro.topology.ring import LogicalRing
 from repro.topology.tiers import Tier
@@ -59,12 +60,13 @@ class SingleRingMulticast(RingNet):
         hierarchy.add_ring(ring, Tier.BR, top=True)
         for i, bs in enumerate(bss):
             hierarchy.candidate_neighbors[bs] = [b for b in bss if b != bs]
-        # Ring links.
-        if n_bs > 1:
-            for i, bs in enumerate(bss):
-                nxt = bss[(i + 1) % n_bs]
-                if fabric.link(bs, nxt) is None:
-                    fabric.connect(bs, nxt, wired)
+        # Ring links plus candidate-neighbor fail-over links: after a BS
+        # crash the maintenance splice pairs non-adjacent survivors, so
+        # the links the repair assumes must exist up front (exactly what
+        # provision_links does for the regular hierarchy; hand-wiring
+        # only i -> i+1 left crash recovery without a path — found by
+        # the validation fuzzer).
+        provision_links(fabric, hierarchy, wired=wired, wireless=wireless)
         net = cls(sim, fabric, hierarchy, cfg=cfg, wireless=wireless)
         for i, bs in enumerate(bss):
             for m in range(mhs_per_bs):

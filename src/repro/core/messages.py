@@ -131,18 +131,24 @@ class GapUnavailable(Message):
 
 
 class HandoffRegister(Message):
-    """MH announces itself to a new AP after a handoff (or initial join)."""
+    """MH announces itself to a new AP after a handoff (or initial join).
+
+    ``epoch`` is the MH's attachment epoch (its LUID counter): every
+    attach increments it, so an AP can order registrations and detaches
+    from the same MH even when retransmission delays them.
+    """
 
     size_bits = 256
 
-    __slots__ = ("gid", "mh_guid", "max_delivered_seq", "joining")
+    __slots__ = ("gid", "mh_guid", "max_delivered_seq", "joining", "epoch")
 
     def __init__(self, gid: str, mh_guid: NodeId, max_delivered_seq: int,
-                 joining: bool = False):
+                 joining: bool = False, epoch: int = 0):
         self.gid = gid
         self.mh_guid = mh_guid
         self.max_delivered_seq = max_delivered_seq
         self.joining = joining
+        self.epoch = epoch
 
 
 class JoinAck(Message):
@@ -158,15 +164,21 @@ class JoinAck(Message):
 
 
 class Detach(Message):
-    """MH tells its old AP it is leaving (clean handoff or group leave)."""
+    """MH tells its old AP it is leaving (clean handoff or group leave).
+
+    ``epoch`` names the attachment being torn down; an AP ignores a
+    Detach older than its latest registration from the same MH, so a
+    retransmission-delayed Detach can never cancel a newer attachment.
+    """
 
     size_bits = 128
 
-    __slots__ = ("gid", "mh_guid")
+    __slots__ = ("gid", "mh_guid", "epoch")
 
-    def __init__(self, gid: str, mh_guid: NodeId):
+    def __init__(self, gid: str, mh_guid: NodeId, epoch: int = 0):
         self.gid = gid
         self.mh_guid = mh_guid
+        self.epoch = epoch
 
 
 class TokenRegen(Message):

@@ -81,7 +81,8 @@ class MobileHost(NetNode):
         self._attach_epoch += 1
         self.luid = (ap, self._attach_epoch)
         self.chan.send(ap, HandoffRegister(self.cfg.gid, self.guid,
-                                           max_delivered_seq=-1, joining=True))
+                                           max_delivered_seq=-1, joining=True,
+                                           epoch=self._attach_epoch))
         self._gap_timer.start()
         self.sim.trace.emit(self.now, "mh.join", mh=self.guid, ap=ap)
 
@@ -89,8 +90,17 @@ class MobileHost(NetNode):
         """Move to ``new_ap``, resuming delivery after ``mq.front``."""
         old = self.ap
         if old is not None and old != new_ap:
-            self.chan.send(old, Detach(self.cfg.gid, self.guid))
+            # Abandon in-flight traffic to the old AP *before* sending
+            # the Detach, so the Detach itself keeps its retransmission
+            # state — cancelling afterwards made a single lost wireless
+            # transmission strand the registration at the old AP forever
+            # (found by the membership-consistency monitor).  The Detach
+            # carries the epoch being torn down, so if this MH returns
+            # to ``old`` before a delayed retransmission lands, the AP
+            # recognizes it as stale and keeps the newer registration.
             self.chan.cancel_all(old)
+            self.chan.send(old, Detach(self.cfg.gid, self.guid,
+                                       epoch=self._attach_epoch))
         self.ap = new_ap
         self._attach_epoch += 1
         self.luid = (new_ap, self._attach_epoch)
@@ -98,14 +108,15 @@ class MobileHost(NetNode):
         self._gap_state = None
         self.chan.send(new_ap, HandoffRegister(
             self.cfg.gid, self.guid, max_delivered_seq=self.mq.front,
-            joining=not self.is_member))
+            joining=not self.is_member, epoch=self._attach_epoch))
         self.sim.trace.emit(self.now, "mh.handoff", mh=self.guid,
                             old=old, new=new_ap, front=self.mq.front)
 
     def leave(self) -> None:
         """Leave the group and detach from the current AP."""
         if self.ap is not None:
-            self.chan.send(self.ap, Detach(self.cfg.gid, self.guid))
+            self.chan.send(self.ap, Detach(self.cfg.gid, self.guid,
+                                           epoch=self._attach_epoch))
         self.is_member = False
         self._gap_timer.stop()
         self.sim.trace.emit(self.now, "mh.leave", mh=self.guid, ap=self.ap)

@@ -106,6 +106,15 @@ class NetworkEntity(OrderingMixin, ForwardingMixin, DeliveringMixin,
         #: (dynamic-path mode only): their JoinAck base is unknown until
         #: the AG's stream starts flowing here.
         self._pending_joins: List[NodeId] = []
+        #: Per-MH attachment-epoch bookkeeping.  Registrations and
+        #: detaches from the same MH can arrive out of order (handoff
+        #: ping-pong inside one RTT, retransmission delays), so the AP
+        #: orders them by the MH's attachment epoch: a Detach older than
+        #: the latest registration is stale, and a Register at or below
+        #: the highest detached epoch describes an attachment already
+        #: torn down.  Both races were found by the validation fuzzer.
+        self._mh_epoch: dict = {}
+        self._mh_detached_epoch: dict = {}
 
         self._tau_timer = self.periodic(cfg.tau, self._tau_tick)
         self._maint_timer = self.periodic(
@@ -234,6 +243,12 @@ class NetworkEntity(OrderingMixin, ForwardingMixin, DeliveringMixin,
     def _ap_handle_register(self, msg: HandoffRegister) -> None:
         """An MH attached to this AP (fresh join or handoff arrival)."""
         mh = msg.mh_guid
+        if msg.epoch <= self._mh_detached_epoch.get(mh, -1):
+            # A late-arriving registration for an attachment whose
+            # Detach this AP already processed: the MH moved on.
+            return
+        if msg.epoch >= self._mh_epoch.get(mh, 0):
+            self._mh_epoch[mh] = msg.epoch
         if msg.joining and not self.path_established:
             # Cold AP (dynamic-path mode): the join completes once the
             # multicast path is built and the stream reaches us.
@@ -269,7 +284,14 @@ class NetworkEntity(OrderingMixin, ForwardingMixin, DeliveringMixin,
 
     def _ap_handle_detach(self, msg: Detach) -> None:
         """An MH left this AP (handoff away or group leave)."""
-        self.unregister_child(msg.mh_guid)
+        mh = msg.mh_guid
+        if msg.epoch < self._mh_epoch.get(mh, 0):
+            # Stale: a delayed retransmission for an attachment this MH
+            # already superseded by re-registering here.
+            return
+        if msg.epoch > self._mh_detached_epoch.get(mh, -1):
+            self._mh_detached_epoch[mh] = msg.epoch
+        self.unregister_child(mh)
         self.sim.trace.emit(self.now, "ap.detach", node=self.id,
                             mh=msg.mh_guid)
         self._relay_membership(MembershipUpdate(self.cfg.gid, [],

@@ -50,6 +50,12 @@ class OrderingMixin:
         self.messages_ordered: int = 0
         # Multiple-Token kill set: token ids ruled dead by resolution.
         self.killed_token_ids: set = set()
+        # Test-only fault hook: while positive, _pass_token silently
+        # drops the token instead of sending it (models token loss with
+        # no accompanying topology change, so no recovery signal fires).
+        # Mutation tests use it to prove the validation monitors catch a
+        # protocol that stops ordering.
+        self._test_drop_token_passes: int = 0
 
     # ------------------------------------------------------------------
     # Source intake
@@ -149,7 +155,8 @@ class OrderingMixin:
 
         token.age()
         self.sim.trace.emit(self.now, "token.hold", node=self.id,
-                            next_gseq=token.next_global_seq)
+                            next_gseq=token.next_global_seq,
+                            token_id=token.token_id)
         # Pass after the processing/hold time.
         if self._pass_timer is None:
             self._pass_timer = self.timer(self._pass_token)
@@ -160,6 +167,11 @@ class OrderingMixin:
         if token is None:
             return
         self.held_token = None
+        if self._test_drop_token_passes > 0:
+            self._test_drop_token_passes -= 1
+            self.sim.trace.emit(self.now, "test.token_dropped", node=self.id,
+                                token_id=token.token_id)
+            return
         nxt = self.view.next
         if nxt is None or nxt == self.id:
             # Singleton ring: immediately re-hold after a hold cycle.
@@ -167,7 +179,8 @@ class OrderingMixin:
                               self.handle_token, TokenPass(token))
             return
         self.chan.send(nxt, TokenPass(token))
-        self.sim.trace.emit(self.now, "token.pass", node=self.id, to=nxt)
+        self.sim.trace.emit(self.now, "token.pass", node=self.id, to=nxt,
+                            token_id=token.token_id)
 
     def _wtsnp_ttl(self) -> int:
         # At least two full rotations plus slack, so every node's retained
@@ -182,6 +195,16 @@ class OrderingMixin:
         """Copy orderable WQ entries into MQ; returns how many moved."""
         if self.new_token is None and self.old_token is None:
             return 0
+        # Stability guard: while this node still holds the token, the
+        # mints of the current hold exist only here and in the held
+        # token itself.  Applying them now and then crashing re-mints
+        # those global sequence numbers after Token-Regeneration (the
+        # best surviving snapshot predates them) — an application-
+        # visible agreement violation found by the conformance fuzzer.
+        # Deferring the newest snapshot until the token has moved on
+        # guarantees at least one other node's retained snapshot covers
+        # every gseq this node ever applies.
+        new_token = None if self.held_token is not None else self.new_token
         moved = 0
         for ordering_node, stream in list(self.wq.streams()):
             if not stream:
@@ -189,8 +212,8 @@ class OrderingMixin:
             for local_seq in sorted(stream):
                 entry = stream[local_seq]
                 covering = None
-                if self.new_token is not None:
-                    covering = self.new_token.lookup(ordering_node, local_seq)
+                if new_token is not None:
+                    covering = new_token.lookup(ordering_node, local_seq)
                 if covering is None and self.old_token is not None:
                     covering = self.old_token.lookup(ordering_node, local_seq)
                 if covering is None:

@@ -68,7 +68,12 @@ def _parse_sets(items: Optional[Sequence[str]]) -> Dict[str, Any]:
     return {k: vs[0] for k, vs in _parse_params(items).items()}
 
 
-def _spec_for(args: argparse.Namespace):
+def spec_for_args(args: argparse.Namespace):
+    """Resolve a registry scenario plus CLI overrides into a spec.
+
+    Shared by this CLI and ``python -m repro.validation record``, so
+    ``--duration`` / ``--seed`` / ``--set`` mean the same thing in both.
+    """
     overrides = _parse_sets(getattr(args, "set", None))
     if args.duration is not None:
         overrides["duration_ms"] = args.duration
@@ -133,6 +138,22 @@ def _progress(i: int, total: int, result: RunResult) -> None:
           f"wall={result.wall_time_s:6.2f}s", flush=True)
 
 
+def _report_check(results: Sequence[RunResult]) -> int:
+    """Print ``--check`` outcomes; returns the exit code contribution."""
+    failed = [r for r in results if r.violations]
+    if not failed:
+        print(f"check: all {len(results)} runs satisfied every "
+              f"protocol invariant")
+        return 0
+    for r in failed:
+        print(f"check: {r.run_id}: {len(r.violations)} violations")
+        for v in r.violations[:10]:
+            print(f"  VIOLATION {v}")
+        if len(r.violations) > 10:
+            print(f"  ... and {len(r.violations) - 10} more")
+    return 3
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -153,22 +174,23 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    base = _spec_for(args)
+    base = spec_for_args(args)
     points = expand_grid(base, sweep=None, replications=args.reps,
                          root_seed=args.seed)
     results = run_sweep(points, jobs=args.jobs,
-                        progress=_progress if not args.quiet else None)
+                        progress=_progress if not args.quiet else None,
+                        check=args.check)
     print()
     print(format_table(_result_rows(results)))
     _write_artifacts(args, results, meta={
         "command": "run", "scenario": args.scenario,
         "replications": args.reps, "root_seed": base.seed,
     })
-    return 0
+    return _report_check(results) if args.check else 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    base = _spec_for(args)
+    base = spec_for_args(args)
     sweep = _parse_params(args.param)
     if not sweep:
         sweep = registry.default_sweep(args.scenario) or {}
@@ -182,7 +204,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"({len(points) // args.reps} points × {args.reps} reps, "
           f"jobs={args.jobs})")
     results = run_sweep(points, jobs=args.jobs,
-                        progress=_progress if not args.quiet else None)
+                        progress=_progress if not args.quiet else None,
+                        check=args.check)
     print()
     print(format_table(_aggregate_rows(aggregate(results))))
     _write_artifacts(args, results, meta={
@@ -190,7 +213,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "sweep": {k: list(v) for k, v in sweep.items()},
         "replications": args.reps, "root_seed": base.seed,
     })
-    return 0
+    return _report_check(results) if args.check else 0
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +236,9 @@ def _add_common(p: argparse.ArgumentParser, default_jobs: int) -> None:
                    help="write the JSON artifact here")
     p.add_argument("--csv", default=None, metavar="FILE",
                    help="write aggregate rows as CSV here")
+    p.add_argument("--check", action="store_true",
+                   help="attach the repro.validation monitor suite to "
+                        "every run; exit 3 on any invariant violation")
     p.add_argument("--timing", action="store_true",
                    help="include wall-clock times in the JSON artifact "
                         "(makes it non-reproducible byte-for-byte)")

@@ -64,10 +64,17 @@ class RunResult:
 
     wall_time_s: float = 0.0      # excluded from deterministic exports
 
+    #: Invariant violations from a ``--check`` run (None = not checked).
+    #: Omitted from dict/JSON forms when None so unchecked artifacts
+    #: stay byte-identical to pre-validation ones.
+    violations: Optional[List[str]] = None
+
     def to_dict(self, include_timing: bool = True) -> Dict[str, Any]:
         data = asdict(self)
         if not include_timing:
             data.pop("wall_time_s")
+        if self.violations is None:
+            data.pop("violations")
         return data
 
     @classmethod

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.grid import RunPoint
@@ -137,9 +138,20 @@ def _schedule_failures(sim: Simulator, net, spec: ExperimentSpec) -> None:
             sim.schedule_at(ev.at_ms, crash_token_holder)
 
 
-def build_scenario(spec: ExperimentSpec) -> Scenario:
-    """Materialize a spec: simulator, protocol, workload, dynamics."""
-    sim = Simulator(seed=spec.seed)
+def build_scenario(spec: ExperimentSpec,
+                   sim: Optional[Simulator] = None) -> Scenario:
+    """Materialize a spec: simulator, protocol, workload, dynamics.
+
+    Pass a pre-created ``sim`` (seeded with ``spec.seed``) to observe
+    construction-time trace records — initial MH joins happen while the
+    network is built, so monitors that care must subscribe before this
+    call.
+    """
+    if sim is None:
+        sim = Simulator(seed=spec.seed)
+    elif sim.seed != spec.seed:
+        raise ValueError(
+            f"pre-built simulator seed {sim.seed} != spec seed {spec.seed}")
     net = _build_net(sim, spec)
     fleet = weighted_sources(net, spec.workload.source_rates,
                              pattern=spec.workload.pattern)
@@ -193,32 +205,57 @@ def _peak_buffer(net) -> int:
     return max((r["wq_peak"] + r["mq_peak"] for r in reports()), default=0)
 
 
-def run_point(point: Union[RunPoint, ExperimentSpec]) -> RunResult:
+def run_point(point: Union[RunPoint, ExperimentSpec],
+              check: bool = False) -> RunResult:
     """Execute one run and distill its :class:`RunResult`.
 
     Accepts either a grid :class:`RunPoint` or a bare spec (treated as a
-    single point, replication 0).
+    single point, replication 0).  ``check=True`` attaches the full
+    :mod:`repro.validation` monitor suite to the same run — monitors are
+    pure observers, so every metric stays byte-identical to an
+    unchecked run — and fills ``RunResult.violations``.
     """
     if isinstance(point, ExperimentSpec):
         point = RunPoint(spec=point, params={}, seed=point.seed)
     spec = point.spec
 
     wall_start = time.perf_counter()
-    scenario = build_scenario(spec)
-    trace = scenario.sim.trace
+    suite = None
+    if check:
+        # Lazy import: validation is an optional layer over experiments.
+        from repro.validation.suite import observed_scenario, suite_for_spec
+        suite = suite_for_spec(spec)
+        # observed_scenario attaches the suite before construction, so
+        # build-time records (initial MH joins) are observed too.
+        scenario_cm = observed_scenario(spec, suite)
+    else:
+        scenario_cm = nullcontext(build_scenario(spec))
 
-    order = OrderChecker(trace) if spec.system != "unordered" else None
-    latency = LatencyCollector(trace, warmup=spec.warmup_ms)
-    throughput = ThroughputCollector(trace)
-    counters = {"mh.handoff": 0, "mh.tombstone": 0}
-    for topic in counters:
-        trace.subscribe(
-            topic,
-            lambda rec, t=topic: counters.__setitem__(t, counters[t] + 1))
+    with scenario_cm as scenario:
+        trace = scenario.sim.trace
+        if suite is not None:
+            # The suite already carries a total-order checker for
+            # ordered systems; reuse it, don't attach a second one.
+            order = next((m for m in suite if m.name == "total_order"),
+                         None)
+        else:
+            order = OrderChecker(trace) if spec.system != "unordered" \
+                else None
+        latency = LatencyCollector(trace, warmup=spec.warmup_ms)
+        throughput = ThroughputCollector(trace)
+        counters = {"mh.handoff": 0, "mh.tombstone": 0}
+        for topic in counters:
+            trace.subscribe(
+                topic,
+                lambda rec, t=topic: counters.__setitem__(t, counters[t] + 1))
 
-    scenario.run()
+        scenario.run()
 
-    net = scenario.net
+        net = scenario.net
+        violations = None
+        if suite is not None:
+            suite.finish(net=net, end_time=scenario.sim.now)
+            violations = suite.all_violations()
     t0, t1 = spec.warmup_ms, spec.duration_ms
     return RunResult(
         run_id=point.run_id,
@@ -237,13 +274,14 @@ def run_point(point: Union[RunPoint, ExperimentSpec]) -> RunResult:
         min_goodput=throughput.min_goodput(t0, t1),
         latency=latency.summary(),
         order_checked=order is not None,
-        order_violations=len(order.violations) if order is not None else 0,
+        order_violations=order.violation_count if order is not None else 0,
         retransmissions=_total_retransmissions(net),
         handoffs=counters["mh.handoff"],
         tombstones=counters["mh.tombstone"],
         members=len(net.member_hosts()),
         peak_buffer=_peak_buffer(net),
         wall_time_s=time.perf_counter() - wall_start,
+        violations=violations,
     )
 
 
@@ -252,20 +290,23 @@ def run_point(point: Union[RunPoint, ExperimentSpec]) -> RunResult:
 # ----------------------------------------------------------------------
 def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry: dict in, dict out (picklable under fork and spawn)."""
-    return run_point(RunPoint.from_dict(payload)).to_dict()
+    check = payload.pop("check", False)
+    return run_point(RunPoint.from_dict(payload), check=check).to_dict()
 
 
 def run_sweep(
     points: Sequence[RunPoint],
     jobs: int = 1,
     progress: Optional[Callable[[int, int, RunResult], None]] = None,
+    check: bool = False,
 ) -> List[RunResult]:
     """Execute every point; returns results in submission order.
 
     ``jobs > 1`` uses a ``multiprocessing.Pool`` of that many worker
     processes.  ``progress`` (serial mode and parallel mode alike) is
     called as ``progress(i, total, result)`` as finished results are
-    collected, in submission order.
+    collected, in submission order.  ``check=True`` runs every point
+    with the validation monitor suite attached (see :func:`run_point`).
     """
     points = list(points)
     if jobs < 1:
@@ -273,13 +314,13 @@ def run_sweep(
     if jobs == 1 or len(points) <= 1:
         results = []
         for i, point in enumerate(points):
-            result = run_point(point)
+            result = run_point(point, check=check)
             results.append(result)
             if progress is not None:
                 progress(i, len(points), result)
         return results
 
-    payloads = [p.to_dict() for p in points]
+    payloads = [dict(p.to_dict(), check=check) for p in points]
     with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
         done = 0
         results_by_index: Dict[int, RunResult] = {}

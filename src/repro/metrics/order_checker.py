@@ -22,29 +22,44 @@ accumulates violations with enough detail to debug.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.net.address import NodeId
-from repro.sim.trace import TraceBus, TraceRecord
+from repro.sim.trace import Subscriber, TraceBus, TraceRecord
+from repro.validation.monitor import Monitor
 
 
-class OrderChecker:
-    """Online total-order invariant checker."""
+class OrderChecker(Monitor):
+    """Online total-order invariant checker.
 
-    def __init__(self, trace: TraceBus, check_validity: bool = True):
+    A :class:`~repro.validation.monitor.Monitor`: it detaches cleanly
+    (``detach()`` / context manager) and composes into a
+    :class:`~repro.validation.monitor.MonitorSuite` alongside the
+    protocol-invariant monitors of :mod:`repro.validation.monitors`.
+    """
+
+    name = "total_order"
+
+    def __init__(self, trace: Optional[TraceBus] = None,
+                 check_validity: bool = True):
         self.check_validity = check_validity
         self._last_seq: Dict[NodeId, int] = {}
         self._expected_next: Dict[NodeId, Optional[int]] = {}
         self._tombstones: Dict[NodeId, Set[int]] = defaultdict(set)
         self._payload_of: Dict[int, Tuple[NodeId, int]] = {}
         self._sent: Set[Tuple[NodeId, int]] = set()
-        self.violations: List[str] = []
         self.deliveries_checked = 0
-        trace.subscribe("mh.deliver", self._on_deliver)
-        trace.subscribe("mh.tombstone", self._on_tombstone)
-        trace.subscribe("mh.member", self._on_member)
-        if check_validity:
-            trace.subscribe("source.send", self._on_send)
+        super().__init__(trace)
+
+    def handlers(self) -> Dict[Optional[str], Subscriber]:
+        h: Dict[Optional[str], Subscriber] = {
+            "mh.deliver": self._on_deliver,
+            "mh.tombstone": self._on_tombstone,
+            "mh.member": self._on_member,
+        }
+        if self.check_validity:
+            h["source.send"] = self._on_send
+        return h
 
     # ------------------------------------------------------------------
     def _on_send(self, rec: TraceRecord) -> None:
@@ -66,7 +81,7 @@ class OrderChecker:
         # 1. Monotonicity.
         last = self._last_seq.get(mh)
         if last is not None and gseq <= last:
-            self.violations.append(
+            self.violation(
                 f"monotonicity: {mh} delivered gseq {gseq} after {last}"
             )
         self._last_seq[mh] = gseq
@@ -76,7 +91,7 @@ class OrderChecker:
         if expected is not None:
             for missing in range(expected, gseq):
                 if missing not in self._tombstones[mh]:
-                    self.violations.append(
+                    self.violation(
                         f"gap: {mh} skipped gseq {missing} with no tombstone"
                     )
         self._expected_next[mh] = gseq + 1
@@ -87,36 +102,32 @@ class OrderChecker:
         if known is None:
             self._payload_of[gseq] = ident
         elif known != ident:
-            self.violations.append(
+            self.violation(
                 f"agreement: gseq {gseq} is {known} at some MH but "
                 f"{ident} at {mh}"
             )
 
         # 4. Validity.
         if self.check_validity and ident not in self._sent:
-            self.violations.append(
+            self.violation(
                 f"validity: {mh} delivered never-sent message {ident}"
             )
 
     # ------------------------------------------------------------------
-    @property
-    def ok(self) -> bool:
-        """True when no invariant has been violated so far."""
-        return not self.violations
-
     def assert_ok(self) -> None:
         """Raise AssertionError listing the first violations (tests)."""
-        if self.violations:
+        if not self.ok:
             head = "; ".join(self.violations[:5])
             raise AssertionError(
-                f"{len(self.violations)} total-order violations "
+                f"{self.violation_count} total-order violations "
                 f"({self.deliveries_checked} deliveries checked): {head}"
             )
 
     def report(self) -> dict:
         """Headline numbers for experiment tables."""
         return {
+            "monitor": self.name,
             "deliveries": self.deliveries_checked,
             "distinct_gseqs": len(self._payload_of),
-            "violations": len(self.violations),
+            "violations": self.violation_count,
         }

@@ -126,6 +126,10 @@ class ReliableChannel:
         self.stats = TransportStats()
         self._next_seq: Dict[NodeId, int] = {}
         self._outstanding: Dict[Tuple[NodeId, int], _Outstanding] = {}
+        # Retransmission-state boundedness accounting (read by the
+        # validation monitors): live and peak unacked segments per peer.
+        self._in_flight_by_dst: Dict[NodeId, int] = {}
+        self.peak_in_flight_by_dst: Dict[NodeId, int] = {}
         # Receiver-side dedup state per peer: cumulative floor + sparse set.
         self._seen_floor: Dict[NodeId, int] = {}
         self._seen_sparse: Dict[NodeId, Set[int]] = {}
@@ -141,10 +145,20 @@ class ReliableChannel:
         out = _Outstanding(dst, seg, self.max_retries)
         out.timer = Timer(self.node.sim, self._on_timeout, dst, seq)
         self._outstanding[(dst, seq)] = out
+        live = self._in_flight_by_dst.get(dst, 0) + 1
+        self._in_flight_by_dst[dst] = live
+        if live > self.peak_in_flight_by_dst.get(dst, 0):
+            self.peak_in_flight_by_dst[dst] = live
         self.stats.sent += 1
         self.node.send(dst, seg)
         out.timer.start(self.rto)
         return seq
+
+    def _drop_outstanding(self, dst: NodeId, seq: int) -> Optional[_Outstanding]:
+        out = self._outstanding.pop((dst, seq), None)
+        if out is not None:
+            self._in_flight_by_dst[dst] = self._in_flight_by_dst.get(dst, 1) - 1
+        return out
 
     def _on_timeout(self, dst: NodeId, seq: int) -> None:
         out = self._outstanding.get((dst, seq))
@@ -154,7 +168,7 @@ class ReliableChannel:
             # A crashed node retransmits nothing; leave state for recovery.
             return
         if out.retries_left <= 0:
-            del self._outstanding[(dst, seq)]
+            self._drop_outstanding(dst, seq)
             self.stats.gave_up += 1
             self.node.sim.trace.emit(
                 self.node.now, "transport.give_up",
@@ -178,7 +192,7 @@ class ReliableChannel:
         keys = [k for k in self._outstanding if dst is None or k[0] == dst]
         for k in keys:
             self._outstanding[k].timer.stop()
-            del self._outstanding[k]
+            self._drop_outstanding(*k)
 
     # ------------------------------------------------------------------
     # Receiver side
@@ -191,7 +205,7 @@ class ReliableChannel:
         non-transport messages are returned unchanged.
         """
         if isinstance(msg, SegAck):
-            out = self._outstanding.pop((msg.src, msg.seq), None)
+            out = self._drop_outstanding(msg.src, msg.seq)
             if out is not None:
                 out.timer.stop()
                 self.stats.acked += 1

@@ -8,8 +8,9 @@ mode) asks for them, so tracing costs almost nothing in benchmark runs.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,33 @@ class TraceBus:
         if kind is None:
             self._subs_all.remove(fn)
         else:
-            self._subs_by_kind[kind].remove(fn)
+            subs = self._subs_by_kind[kind]
+            subs.remove(fn)
+            if not subs:
+                # Drop the empty list so ``emit`` stays on its cheap
+                # nobody-listens fast path for this kind.
+                del self._subs_by_kind[kind]
+
+    @contextmanager
+    def subscription(self, kind: Optional[str], fn: Subscriber) -> Iterator[Subscriber]:
+        """Scoped subscription: detaches on exit even on error.
+
+        ::
+
+            with bus.subscription("mh.deliver", on_deliver):
+                scenario.run()
+        """
+        self.subscribe(kind, fn)
+        try:
+            yield fn
+        finally:
+            self.unsubscribe(kind, fn)
+
+    @property
+    def subscriber_count(self) -> int:
+        """Total live subscriptions (all kinds plus wildcard)."""
+        return (len(self._subs_all)
+                + sum(len(s) for s in self._subs_by_kind.values()))
 
     # ------------------------------------------------------------------
     def emit(self, time: float, kind: str, **attrs: Any) -> None:

@@ -1,0 +1,89 @@
+"""Machine-checked protocol conformance.
+
+The paper's claims — total order, reliability across handoffs,
+token-based recovery — become executable invariants here:
+
+* :mod:`repro.validation.monitor` — the :class:`Monitor` contract and
+  :class:`MonitorSuite` bundling (violation accumulation, scoped trace
+  subscriptions, end-of-run state checks).
+* :mod:`repro.validation.monitors` — the invariant family: token
+  uniqueness & liveness, membership view consistency, handoff
+  atomicity, retransmission-buffer boundedness, recovery after failure.
+  The total-order checker (:class:`repro.metrics.order_checker.
+  OrderChecker`) shares the same base and composes into suites.
+* :mod:`repro.validation.record` — deterministic trace record/replay:
+  canonical JSONL streams, offline replay through monitors, and
+  first-divergence diffing between two runs.
+* :mod:`repro.validation.suite` — per-system suite assembly and
+  :func:`check_spec`, the one-call checked run.
+* :mod:`repro.validation.fuzz` — randomized-but-seeded scenario
+  generation and the conformance campaign harness.
+
+Quickstart
+----------
+Check any registry scenario online::
+
+    python -m repro.experiments run failure_drill --check
+
+Fuzz the protocol over random scenarios (exit code 1 on violations)::
+
+    python -m repro.validation fuzz --budget 50 --duration 3000
+
+Record a run, replay it offline, diff two runs::
+
+    python -m repro.validation record quickstart --out a.jsonl
+    python -m repro.validation replay a.jsonl
+    python -m repro.validation diff a.jsonl b.jsonl
+"""
+
+# The monitor contract and the monitor family are leaf modules
+# (importing only repro.sim.trace) and load eagerly; everything that
+# reaches toward repro.experiments (record/suite/fuzz) resolves lazily
+# via PEP 562 so that `from repro.validation.monitor import Monitor` —
+# which core code like repro.metrics.order_checker performs — never
+# drags the whole harness in or risks an import cycle.
+from repro.validation.monitor import Monitor, MonitorSuite
+from repro.validation.monitors import (
+    BoundsMonitor,
+    HandoffMonitor,
+    MembershipMonitor,
+    QuiescenceMonitor,
+    TokenMonitor,
+)
+
+_LAZY = {
+    "TraceRecorder": "repro.validation.record",
+    "Divergence": "repro.validation.record",
+    "first_divergence": "repro.validation.record",
+    "read_jsonl": "repro.validation.record",
+    "write_jsonl": "repro.validation.record",
+    "replay": "repro.validation.record",
+    "record_spec": "repro.validation.record",
+    "CheckResult": "repro.validation.suite",
+    "check_spec": "repro.validation.suite",
+    "standard_suite": "repro.validation.suite",
+    "suite_for_spec": "repro.validation.suite",
+    "FuzzReport": "repro.validation.fuzz",
+    "fuzz": "repro.validation.fuzz",
+    "random_spec": "repro.validation.fuzz",
+}
+
+__all__ = [
+    "Monitor", "MonitorSuite",
+    "TokenMonitor", "MembershipMonitor", "HandoffMonitor",
+    "BoundsMonitor", "QuiescenceMonitor",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

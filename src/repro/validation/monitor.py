@@ -1,0 +1,198 @@
+"""The online-monitor contract shared by every protocol invariant check.
+
+A :class:`Monitor` subscribes to :class:`~repro.sim.trace.TraceBus`
+records, accumulates human-readable violation strings as the run
+unfolds (the style :class:`~repro.metrics.order_checker.OrderChecker`
+established), and optionally performs end-of-run state checks in
+:meth:`Monitor.finish`.  Monitors are strictly observers: attaching one
+never perturbs the simulation, so a checked run produces byte-identical
+results to an unchecked one.
+
+:class:`MonitorSuite` bundles several monitors behind one
+attach/finish/report surface and doubles as a context manager so
+subscriptions always detach (no subscriber leaks across repeated runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.trace import Subscriber, TraceBus
+
+
+class Monitor:
+    """Base class: violation accumulation + scoped trace subscriptions.
+
+    Subclasses declare their interests by overriding :meth:`handlers`
+    and record problems with :meth:`violation`.  State-dependent
+    end-of-run checks go in :meth:`finish`, which must tolerate
+    ``net=None`` (offline replay has trace records but no simulated
+    network to inspect).
+
+    Subclass ``__init__`` methods initialize their own state **first**
+    and call ``super().__init__(trace)`` **last**: the base constructor
+    attaches immediately when a trace is given, and :meth:`handlers`
+    may read subclass configuration.
+    """
+
+    #: Short identifier used in reports and combined violation lists.
+    name = "monitor"
+
+    #: Violations retained verbatim; beyond this they are only counted
+    #: (a pathological run must not balloon memory with strings).
+    max_violations = 10_000
+
+    def __init__(self, trace: Optional[TraceBus] = None) -> None:
+        self.violations: List[str] = []
+        self.suppressed = 0
+        self._trace: Optional[TraceBus] = None
+        self._subs: List[Tuple[Optional[str], Subscriber]] = []
+        if trace is not None:
+            self.attach(trace)
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+    def handlers(self) -> Dict[Optional[str], Subscriber]:
+        """``{kind: callback}`` interests (``None`` = every kind)."""
+        return {}
+
+    def attach(self, trace: TraceBus) -> "Monitor":
+        """Subscribe every handler; returns self for chaining."""
+        if self._trace is not None:
+            raise RuntimeError(f"{self.name} monitor is already attached")
+        self._trace = trace
+        for kind, fn in self.handlers().items():
+            trace.subscribe(kind, fn)
+            self._subs.append((kind, fn))
+        return self
+
+    def detach(self) -> None:
+        """Remove every subscription this monitor added (idempotent)."""
+        if self._trace is None:
+            return
+        for kind, fn in self._subs:
+            self._trace.unsubscribe(kind, fn)
+        self._subs.clear()
+        self._trace = None
+
+    def __enter__(self) -> "Monitor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Violation accumulation
+    # ------------------------------------------------------------------
+    def violation(self, msg: str) -> None:
+        """Record one invariant violation."""
+        if len(self.violations) < self.max_violations:
+            self.violations.append(msg)
+        else:
+            self.suppressed += 1
+
+    @property
+    def violation_count(self) -> int:
+        """Total violations, including ones suppressed past the cap."""
+        return len(self.violations) + self.suppressed
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant has been violated so far."""
+        return self.violation_count == 0
+
+    def assert_ok(self) -> None:
+        """Raise AssertionError listing the first violations (tests)."""
+        if not self.ok:
+            head = "; ".join(self.violations[:5])
+            raise AssertionError(
+                f"{self.violation_count} {self.name} violations: {head}"
+            )
+
+    # ------------------------------------------------------------------
+    # End-of-run hook
+    # ------------------------------------------------------------------
+    def finish(self, net: Any = None, end_time: Optional[float] = None) -> None:
+        """Run end-of-run checks.
+
+        ``net`` is the protocol facade (``RingNet`` or a baseline) for
+        state inspection, or None when replaying a recorded trace.
+        ``end_time`` is the simulated time the run stopped at.
+        """
+
+    def report(self) -> Dict[str, Any]:
+        """Headline numbers for experiment tables / fuzz reports."""
+        return {"monitor": self.name, "violations": self.violation_count}
+
+
+class MonitorSuite:
+    """A set of monitors driven as one unit."""
+
+    def __init__(self, monitors: List[Monitor]):
+        self.monitors = list(monitors)
+        names = [m.name for m in self.monitors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate monitor names: {sorted(names)}")
+
+    def __iter__(self):
+        return iter(self.monitors)
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+    def get(self, name: str) -> Monitor:
+        """The monitor registered under ``name``."""
+        for m in self.monitors:
+            if m.name == name:
+                return m
+        raise KeyError(f"no monitor named {name!r} in suite")
+
+    # ------------------------------------------------------------------
+    def attach(self, trace: TraceBus) -> "MonitorSuite":
+        for m in self.monitors:
+            m.attach(trace)
+        return self
+
+    def detach(self) -> None:
+        for m in self.monitors:
+            m.detach()
+
+    def __enter__(self) -> "MonitorSuite":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def finish(self, net: Any = None, end_time: Optional[float] = None) -> None:
+        for m in self.monitors:
+            m.finish(net=net, end_time=end_time)
+
+    def all_violations(self) -> List[str]:
+        """Every violation across the suite, prefixed by monitor name."""
+        out: List[str] = []
+        for m in self.monitors:
+            out.extend(f"{m.name}: {v}" for v in m.violations)
+            if m.suppressed:
+                out.append(f"{m.name}: ... {m.suppressed} more suppressed")
+        return out
+
+    @property
+    def violation_count(self) -> int:
+        return sum(m.violation_count for m in self.monitors)
+
+    @property
+    def ok(self) -> bool:
+        return all(m.ok for m in self.monitors)
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            head = "; ".join(self.all_violations()[:8])
+            raise AssertionError(
+                f"{self.violation_count} invariant violations: {head}"
+            )
+
+    def report(self) -> Dict[str, Any]:
+        """Per-monitor reports keyed by monitor name."""
+        return {m.name: m.report() for m in self.monitors}

@@ -1,0 +1,221 @@
+"""Deterministic trace record / replay / diff.
+
+A run's :class:`~repro.sim.trace.TraceRecord` stream serializes to
+JSONL — one canonical, sorted-key JSON object per record — so that
+
+* two runs of the same :class:`~repro.experiments.spec.ExperimentSpec`
+  and seed produce **byte-identical** streams (seed-determinism becomes
+  a checked property, not an assumption);
+* a recorded stream replays offline through any monitor set
+  (:func:`replay`), turning a captured failure into a repeatable unit
+  test;
+* two streams diff to the **first divergence**
+  (:func:`first_divergence`), pinpointing where a refactor changed
+  behaviour.
+
+Canonical form: attribute tuples serialize as JSON arrays and load back
+as tuples (the trace vocabulary uses tuples — e.g. ``token_id`` — and
+never semantically distinguishes list from tuple), keys sort, floats use
+``repr`` round-tripping via the stdlib ``json`` module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.sim.trace import TraceBus, TraceRecord
+
+
+# ----------------------------------------------------------------------
+# Canonical (de)serialization
+# ----------------------------------------------------------------------
+def record_to_line(rec: TraceRecord) -> str:
+    """One canonical JSONL line (no trailing newline)."""
+    return json.dumps({"t": rec.time, "k": rec.kind, "a": rec.attrs},
+                      sort_keys=True, separators=(",", ":"), default=list)
+
+
+def _canonical(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    return value
+
+
+def line_to_record(line: str) -> TraceRecord:
+    """Parse one JSONL line back into a :class:`TraceRecord`."""
+    data = json.loads(line)
+    attrs = {k: _canonical(v) for k, v in data["a"].items()}
+    return TraceRecord(time=float(data["t"]), kind=data["k"], attrs=attrs)
+
+
+# ----------------------------------------------------------------------
+# Online recorder
+# ----------------------------------------------------------------------
+class TraceRecorder:
+    """Subscribe to every record on a bus and keep the canonical lines.
+
+    Use as a context manager (detaches on exit), or via
+    :meth:`attach` / :meth:`detach` directly::
+
+        with TraceRecorder(sim.trace) as rec:
+            scenario.run()
+        rec.write(path)
+    """
+
+    def __init__(self, trace: Optional[TraceBus] = None,
+                 sink: Optional[TextIO] = None):
+        self.lines: List[str] = []
+        self.count = 0
+        self._sink = sink
+        self._trace: Optional[TraceBus] = None
+        if trace is not None:
+            self.attach(trace)
+
+    def attach(self, trace: TraceBus) -> "TraceRecorder":
+        if self._trace is not None:
+            raise RuntimeError("recorder is already attached")
+        self._trace = trace
+        trace.subscribe(None, self._on_record)
+        return self
+
+    def detach(self) -> None:
+        if self._trace is not None:
+            self._trace.unsubscribe(None, self._on_record)
+            self._trace = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        line = record_to_line(rec)
+        self.count += 1
+        if self._sink is not None:
+            self._sink.write(line + "\n")
+        else:
+            self.lines.append(line)
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The full stream as one string (trailing newline included)."""
+        return "".join(line + "\n" for line in self.lines)
+
+    def write(self, path: str) -> None:
+        """Write the buffered stream to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+# ----------------------------------------------------------------------
+# File I/O and replay
+# ----------------------------------------------------------------------
+def write_jsonl(path: str, records: Iterable[TraceRecord]) -> int:
+    """Serialize ``records`` to ``path``; returns the record count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(record_to_line(rec) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[TraceRecord]:
+    """Load a recorded stream back into memory."""
+    out: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(line_to_record(line))
+    return out
+
+
+def replay(records: Sequence[TraceRecord], monitors: Iterable,
+           finish: bool = True) -> TraceBus:
+    """Re-emit a recorded stream through ``monitors`` offline.
+
+    ``monitors`` is any iterable of :class:`~repro.validation.monitor.
+    Monitor` (a :class:`~repro.validation.monitor.MonitorSuite` works).
+    End-of-run checks run with ``net=None`` — state-dependent checks
+    skip themselves — and ``end_time`` set to the last record's time.
+    Monitors are detached before returning.
+    """
+    bus = TraceBus()
+    attached = [m.attach(bus) for m in monitors]
+    try:
+        for rec in records:
+            bus.emit(rec.time, rec.kind, **rec.attrs)
+        if finish:
+            end = records[-1].time if records else 0.0
+            for m in attached:
+                m.finish(net=None, end_time=end)
+    finally:
+        for m in attached:
+            m.detach()
+    return bus
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Divergence:
+    """Where two trace streams first disagree."""
+
+    index: int
+    left: Optional[str]
+    right: Optional[str]
+
+    def describe(self) -> str:
+        if self.left is None:
+            return (f"record {self.index}: left stream ended, right "
+                    f"continues with {self.right}")
+        if self.right is None:
+            return (f"record {self.index}: right stream ended, left "
+                    f"continues with {self.left}")
+        return (f"record {self.index}:\n  left:  {self.left}\n"
+                f"  right: {self.right}")
+
+
+def first_divergence(
+    left: Sequence[Union[TraceRecord, str]],
+    right: Sequence[Union[TraceRecord, str]],
+) -> Optional[Divergence]:
+    """First index where two streams differ, or None when identical.
+
+    Accepts records or pre-serialized lines; comparison is on the
+    canonical line form either way.
+    """
+    def as_line(item: Union[TraceRecord, str]) -> str:
+        return item if isinstance(item, str) else record_to_line(item)
+
+    for i in range(max(len(left), len(right))):
+        a = as_line(left[i]) if i < len(left) else None
+        b = as_line(right[i]) if i < len(right) else None
+        if a != b:
+            return Divergence(index=i, left=a, right=b)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Convenience: record a spec's full run
+# ----------------------------------------------------------------------
+def record_spec(spec) -> TraceRecorder:
+    """Build and run ``spec``, recording the complete trace stream.
+
+    Uses :func:`repro.validation.suite.observed_scenario`, so the
+    recorder attaches before construction and build-time records
+    (initial MH joins) are part of the stream.  Returns the detached
+    recorder (``.lines`` / ``.to_jsonl()``).
+    """
+    from repro.validation.suite import observed_scenario
+    rec = TraceRecorder()
+    with observed_scenario(spec, rec) as scenario:
+        scenario.run()
+    return rec

@@ -103,9 +103,11 @@ def test_handoff_after_long_detour_tombstones_unservable_range():
     mh = net.mobile_hosts["mh:0.0.0.0"]
 
     def detach_quietly():
-        # Simulate a long disconnection: detach without re-registering.
-        mh.chan.send(mh.ap, __import__("repro.core.messages",
-                                       fromlist=["Detach"]).Detach(cfg.gid, mh.guid))
+        # Simulate a long disconnection: detach without re-registering
+        # (stamped with the live attachment epoch so the AP honors it).
+        from repro.core.messages import Detach
+        mh.chan.send(mh.ap, Detach(cfg.gid, mh.guid,
+                                   epoch=mh._attach_epoch))
     sim.schedule_at(1_000, detach_quietly)
     sim.schedule_at(3_000, lambda: net.handoff("mh:0.0.0.0", "ap:1.0.0"))
     sim.run(until=6_000)
@@ -115,3 +117,64 @@ def test_handoff_after_long_detour_tombstones_unservable_range():
     # And delivery still proceeds after the tombstoned range.
     seqs = mh.delivered_seqs()
     assert seqs and seqs[-1] > 100
+
+
+def test_stale_detach_cannot_cancel_newer_registration():
+    """A retransmission-delayed Detach must not tear down a newer
+    registration from the same MH (ping-pong inside the RTO window)."""
+    from repro.core.messages import Detach
+
+    sim, net = small_net(mhs_per_ap=1, seed=3)
+    net.start()
+    src = net.add_source(rate_per_sec=30)
+    src.start()
+    sim.run(until=500)
+
+    mh = net.mobile_hosts["mh:0.0.0.0"]
+    home, away = "ap:0.0.0", "ap:0.0.1"
+    stale_epoch = mh._attach_epoch          # the attachment about to end
+    net.handoff(mh.guid, away)              # Detach(home, stale_epoch)
+    net.handoff(mh.guid, home)              # ... and straight back
+    sim.run(until=1_000)
+    assert net.nes[home].has_child(mh.guid)
+
+    # The stale Detach finally lands (as a delayed retransmission would).
+    net.nes[home]._ap_handle_detach(Detach(net.cfg.gid, mh.guid,
+                                           epoch=stale_epoch))
+    assert net.nes[home].has_child(mh.guid)  # newer registration survives
+    before = mh.delivered_count
+    sim.run(until=3_000)
+    assert mh.delivered_count > before       # delivery never blacked out
+
+    # A Detach for the *current* epoch is still honored (normal leave).
+    net.nes[home]._ap_handle_detach(Detach(net.cfg.gid, mh.guid,
+                                           epoch=mh._attach_epoch))
+    assert not net.nes[home].has_child(mh.guid)
+
+
+def test_late_register_cannot_resurrect_detached_attachment():
+    """The mirror race: a handoff ping-pong A->B->A inside one RTT can
+    deliver B's Register *after* the equal-epoch Detach; the register
+    describes an attachment already torn down and must be ignored."""
+    from repro.core.messages import Detach, HandoffRegister
+
+    sim, net = small_net(mhs_per_ap=1, seed=4)
+    net.start()
+    sim.run(until=200)
+    mh = net.mobile_hosts["mh:0.0.0.0"]
+    other = net.nes["ap:0.0.1"]
+    epoch = mh._attach_epoch + 1  # the epoch a handoff to `other` would mint
+
+    # Detach for epoch N processed first (out-of-order arrival) ...
+    other._ap_handle_detach(Detach(net.cfg.gid, mh.guid, epoch=epoch))
+    # ... then the cancelled-but-already-on-the-wire Register lands.
+    other._ap_handle_register(HandoffRegister(
+        net.cfg.gid, mh.guid, max_delivered_seq=5, joining=False,
+        epoch=epoch))
+    assert not other.has_child(mh.guid)
+
+    # A genuinely newer attachment (higher epoch) still registers fine.
+    other._ap_handle_register(HandoffRegister(
+        net.cfg.gid, mh.guid, max_delivered_seq=5, joining=False,
+        epoch=epoch + 1))
+    assert other.has_child(mh.guid)

@@ -420,3 +420,53 @@ class TestCli:
         assert doc["n_runs"] == 4 and len(doc["aggregates"]) == 2
         assert doc["meta"]["sweep"] == {"workload.rate_per_sec": [10, 20]}
         assert csv_out.exists()
+
+
+class TestCheckIntegration:
+    """--check wires the repro.validation suite into run/sweep."""
+
+    def test_run_point_check_fills_violations(self):
+        spec = registry.get("quickstart", **{"duration_ms": 1_200.0,
+                                             "warmup_ms": 0.0})
+        result = run_point(spec, check=True)
+        assert result.violations == []
+        assert result.delivered > 0
+
+    def test_run_point_unchecked_omits_violations_key(self):
+        spec = registry.get("quickstart", **{"duration_ms": 1_200.0,
+                                             "warmup_ms": 0.0})
+        result = run_point(spec)
+        assert result.violations is None
+        assert "violations" not in result.to_dict()
+
+    def test_checked_and_unchecked_runs_agree(self):
+        spec = registry.get("quickstart", **{"duration_ms": 1_200.0,
+                                             "warmup_ms": 0.0})
+        plain = run_point(spec).to_dict(include_timing=False)
+        checked = run_point(spec, check=True).to_dict(include_timing=False)
+        checked.pop("violations")
+        assert checked == plain
+
+    def test_parallel_sweep_carries_check_through_workers(self):
+        base = registry.get("quickstart", **{"duration_ms": 1_200.0,
+                                             "warmup_ms": 0.0})
+        points = expand_grid(base, {"workload.rate_per_sec": [10.0, 20.0]})
+        serial = run_sweep(points, jobs=1, check=True)
+        parallel = run_sweep(points, jobs=2, check=True)
+        assert all(r.violations == [] for r in serial)
+        assert [r.to_dict(include_timing=False) for r in serial] \
+            == [r.to_dict(include_timing=False) for r in parallel]
+
+    def test_cli_run_check_flag(self, tmp_path, capsys):
+        rc = cli_main(["run", "quickstart", "--duration", "1200",
+                       "--quiet", "--check"])
+        assert rc == 0
+        assert "satisfied every protocol invariant" in capsys.readouterr().out
+
+    def test_cli_check_artifact_records_empty_violations(self, tmp_path):
+        out = tmp_path / "checked.json"
+        rc = cli_main(["run", "quickstart", "--duration", "1200",
+                       "--quiet", "--check", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["violations"] == []

@@ -114,3 +114,54 @@ def test_multiple_subscribers_same_kind():
     bus.subscribe("k", b.append)
     bus.emit(1.0, "k")
     assert len(a) == 1 and len(b) == 1
+
+
+def test_subscription_context_manager_detaches():
+    bus = TraceBus()
+    got = []
+    with bus.subscription("k", got.append):
+        bus.emit(1.0, "k")
+    bus.emit(2.0, "k")
+    assert len(got) == 1
+    assert bus.subscriber_count == 0
+
+
+def test_subscription_detaches_on_error():
+    bus = TraceBus()
+    got = []
+    try:
+        with bus.subscription(None, got.append):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert bus.subscriber_count == 0
+
+
+def test_no_subscriber_leak_across_repeated_runs():
+    """Regression: monitors/collectors must not accumulate across runs.
+
+    Before scoped subscriptions, every run that attached observers to a
+    shared bus leaked them; the fast no-subscriber emit path was then
+    lost forever and callbacks fired into dead objects.
+    """
+    bus = TraceBus()
+    for _ in range(50):
+        got = []
+        with bus.subscription("mh.deliver", got.append), \
+                bus.subscription(None, got.append):
+            bus.emit(1.0, "mh.deliver", mh="m")
+        assert len(got) == 2
+    assert bus.subscriber_count == 0
+    # The empty-list cleanup restores the cheap fast path entirely.
+    assert bus._subs_by_kind == {} and bus._subs_all == []
+
+
+def test_monitor_suite_leaves_no_subscribers_across_runs():
+    from repro.validation.suite import standard_suite
+    bus = TraceBus()
+    for _ in range(10):
+        suite = standard_suite("ringnet")
+        suite.attach(bus)
+        bus.emit(1.0, "mh.join", mh="m", ap="a")
+        suite.detach()
+    assert bus.subscriber_count == 0
