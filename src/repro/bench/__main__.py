@@ -1,0 +1,194 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Subcommands
+-----------
+* ``run NAME`` — benchmark one registry scenario; writes
+  ``BENCH_<NAME>.json``.
+* ``ladder`` — benchmark the pinned NE/MH scaling ladder; writes
+  ``BENCH_ladder.json``.
+* ``compare CURRENT BASELINE`` — flag events/sec regressions between
+  two reports.
+
+``run`` and ``ladder`` accept ``--baseline FILE`` to compare in the
+same invocation.  Exit codes: 0 ok, 1 regression beyond the threshold,
+2 usage error, 3 ``--check`` found protocol-invariant violations.
+
+Examples
+--------
+::
+
+    python -m repro.bench ladder --repeat 3 --check
+    python -m repro.bench run churn_heavy --duration 5000 --repeat 2
+    python -m repro.bench ladder --rungs xs,s --baseline BENCH_ladder.json
+    python -m repro.bench compare BENCH_ladder.json old/BENCH_ladder.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
+from repro.bench.ladder import (LADDER, get_rung, node_counts, rung_names,
+                                rung_spec)
+from repro.bench.measure import (BenchResult, bench_report, measure_spec,
+                                 write_report)
+
+
+def _print_result(r: BenchResult) -> None:
+    line = (f"{r.name:12s} nodes={r.nodes:5d} events={r.events:9d} "
+            f"wall={r.wall_s:7.3f}s  {r.events_per_sec:12,.0f} ev/s  "
+            f"peak_heap={r.peak_heap}")
+    if r.checked:
+        line += ("  check=ok" if not r.violations
+                 else f"  check={len(r.violations)} VIOLATIONS")
+    print(line, flush=True)
+
+
+def _print_comparison(cmp, threshold: float, current_label: str,
+                      baseline_label: str) -> int:
+    """Report a comparison; returns the exit status (0 ok, 1 regressed)."""
+    print(f"comparing on {cmp.metric}")
+    for delta in cmp.deltas:
+        marker = "REGRESSION " if delta.regressed(threshold) else ""
+        print(f"  {marker}{delta.describe()}")
+    for only in cmp.only_current:
+        print(f"  {only}: only in {current_label} (skipped)")
+    for only in cmp.only_baseline:
+        print(f"  {only}: only in {baseline_label} (skipped)")
+    if not cmp.ok:
+        print(f"FAIL: {len(cmp.regressions)} entries regressed more than "
+              f"{threshold:.0%} vs {baseline_label}")
+        return 1
+    print(f"ok: no regression beyond {threshold:.0%} "
+          f"({len(cmp.deltas)} entries compared)")
+    return 0
+
+
+def _finish(results: List[BenchResult], kind: str, name: str,
+            args: argparse.Namespace) -> int:
+    report = bench_report(results, kind=kind, name=name)
+    out = args.out or f"BENCH_{name}.json"
+    write_report(out, report)
+    print(f"wrote {out}")
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        cmp = compare_reports(report, baseline, threshold=args.threshold)
+        status = _print_comparison(cmp, args.threshold, out, args.baseline)
+    violations = sum(len(r.violations) for r in results)
+    if violations:
+        print(f"FAIL: --check found {violations} protocol-invariant "
+              f"violations")
+        return 3
+    return status
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    # Shared resolver: --duration/--seed/--set mean the same thing as in
+    # `python -m repro.experiments` and `python -m repro.validation`.
+    from repro.experiments.__main__ import spec_for_args
+
+    spec = spec_for_args(args)
+    result = measure_spec(spec, repeat=args.repeat, check=args.check)
+    _print_result(result)
+    return _finish([result], kind="run", name=spec.name, args=args)
+
+
+def cmd_ladder(args: argparse.Namespace) -> int:
+    if args.rungs:
+        rungs = [get_rung(n.strip()) for n in args.rungs.split(",")]
+    else:
+        rungs = list(LADDER)
+    results: List[BenchResult] = []
+    for rung in rungs:
+        spec = rung_spec(rung)
+        pops = node_counts(spec)
+        print(f"[{rung.name}] nes={pops['nes']} mhs={pops['mhs']} "
+              f"duration={rung.duration_ms:.0f}ms ...", flush=True)
+        result = measure_spec(spec, repeat=args.repeat, check=args.check)
+        result.name = rung.name  # rung name, not the base scenario's
+        results.append(result)
+        _print_result(result)
+    return _finish(results, kind="ladder", name="ladder", args=args)
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    with open(args.current, "r", encoding="utf-8") as fh:
+        current = json.load(fh)
+    with open(args.baseline_file, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    cmp = compare_reports(current, baseline, threshold=args.threshold)
+    return _print_comparison(cmp, args.threshold, args.current,
+                             args.baseline_file)
+
+
+# ----------------------------------------------------------------------
+def _add_measure_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--repeat", type=int, default=1,
+                   help="fresh build+run repetitions; headline numbers "
+                        "are the fastest (default 1)")
+    p.add_argument("--check", action="store_true",
+                   help="also run once with the validation monitor suite "
+                        "attached; exit 3 on violations")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="report path (default BENCH_<name>.json in cwd)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare against this report; exit 1 on regression")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="allowed fractional events/sec slowdown "
+                        "(default 0.20)")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="events/sec benchmarks: run, ladder, compare",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="benchmark one registry scenario")
+    p_run.add_argument("scenario", help="registry scenario name")
+    p_run.add_argument("--duration", type=float, default=None, metavar="MS")
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="dotted-path spec override, repeatable")
+    _add_measure_args(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_ladder = sub.add_parser(
+        "ladder", help="benchmark the pinned scaling ladder")
+    p_ladder.add_argument("--rungs", default=None, metavar="NAMES",
+                          help=f"comma-separated subset of "
+                               f"{','.join(rung_names())} (default: all)")
+    _add_measure_args(p_ladder)
+    p_ladder.set_defaults(fn=cmd_ladder)
+
+    p_cmp = sub.add_parser("compare", help="diff two bench reports")
+    p_cmp.add_argument("current", help="current BENCH_*.json")
+    p_cmp.add_argument("baseline_file", metavar="baseline",
+                       help="baseline BENCH_*.json")
+    p_cmp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="allowed fractional slowdown (default 0.20)")
+    p_cmp.set_defaults(fn=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

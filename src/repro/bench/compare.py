@@ -1,0 +1,129 @@
+"""Baseline comparison: flag events/sec regressions beyond a threshold.
+
+Two ``BENCH_*.json`` reports compare entry-by-entry (matched on the
+``name`` field — a ladder rung or a scenario).  An entry regresses when
+its rate falls more than ``threshold`` (a fraction, default 20%) below
+the baseline; entries present on only one side are reported but never
+fail the comparison, so ladders can grow rungs without invalidating old
+baselines.
+
+When both reports carry ``events_per_sec_norm`` (the rate divided by
+the host's null-engine calibration, see :func:`repro.bench.measure.
+calibrate`) the comparison uses it, so a baseline committed from one
+machine meaningfully gates runs on another — raw events/sec is only
+comparable on the same host and is used as the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+#: Default allowed fractional slowdown before a comparison fails.
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One matched entry's current-vs-baseline rate."""
+
+    name: str
+    current: float
+    baseline: float
+    metric: str = "events_per_sec"
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (``inf`` when the baseline rate is 0)."""
+        if self.baseline <= 0:
+            return float("inf")
+        return self.current / self.baseline
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio < 1.0 - threshold
+
+    def describe(self) -> str:
+        pct = (self.ratio - 1.0) * 100.0
+        unit = "x null" if self.metric == "events_per_sec_norm" else "ev/s"
+        return (f"{self.name}: {self.current:,.4g} {unit} vs baseline "
+                f"{self.baseline:,.4g} {unit} ({pct:+.1f}%)")
+
+
+@dataclass
+class ComparisonReport:
+    """Everything one baseline comparison found."""
+
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+    only_current: List[str] = field(default_factory=list)
+    only_baseline: List[str] = field(default_factory=list)
+
+    #: Which rate the deltas were computed on.
+    metric: str = "events_per_sec"
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "metric": self.metric,
+            "deltas": [
+                {"name": d.name, "current": d.current,
+                 "baseline": d.baseline, "ratio": round(d.ratio, 4),
+                 "regressed": d.regressed(self.threshold)}
+                for d in self.deltas
+            ],
+            "only_current": list(self.only_current),
+            "only_baseline": list(self.only_baseline),
+        }
+
+
+def _rates_by_name(report: Mapping[str, Any],
+                   metric: str) -> Dict[str, float]:
+    results = report.get("results")
+    if not isinstance(results, list):
+        raise ValueError("not a bench report: missing 'results' list "
+                         f"(schema={report.get('schema')!r})")
+    out: Dict[str, float] = {}
+    for entry in results:
+        out[str(entry["name"])] = float(entry[metric])
+    return out
+
+
+def _pick_metric(current: Mapping[str, Any],
+                 baseline: Mapping[str, Any]) -> str:
+    def has_norm(report: Mapping[str, Any]) -> bool:
+        results = report.get("results")
+        return (isinstance(results, list) and bool(results)
+                and all("events_per_sec_norm" in e for e in results))
+
+    if has_norm(current) and has_norm(baseline):
+        return "events_per_sec_norm"
+    return "events_per_sec"
+
+
+def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
+                    threshold: float = DEFAULT_THRESHOLD) -> ComparisonReport:
+    """Compare two report payloads (see :func:`repro.bench.measure.
+    bench_report`); entries match on ``name``."""
+    if not 0 <= threshold < 1:
+        raise ValueError("threshold must be a fraction in [0, 1)")
+    metric = _pick_metric(current, baseline)
+    cur = _rates_by_name(current, metric)
+    base = _rates_by_name(baseline, metric)
+    report = ComparisonReport(threshold=threshold, metric=metric)
+    for name in cur:
+        if name in base:
+            report.deltas.append(Delta(name, cur[name], base[name],
+                                       metric=metric))
+        else:
+            report.only_current.append(name)
+    report.only_baseline.extend(n for n in base if n not in cur)
+    return report

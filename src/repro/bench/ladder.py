@@ -1,0 +1,104 @@
+"""The pinned NE/MH scaling ladder.
+
+Every rung is the same workload shape — the registry's ``quickstart``
+scenario (two CBR senders, the paper's Figure-1 hierarchy) — scaled
+from tens of nodes to thousands by widening the BR ring, the AG fan-out,
+the AP fan-out, and the per-AP MH population.  Simulated duration
+shrinks as the population grows so a full ladder stays a
+minutes-not-hours affair; events/sec is duration-independent, which is
+the point of measuring a *rate*.
+
+Rungs are data, pinned here on purpose: a benchmark whose shape drifts
+with the registry cannot be compared across commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.experiments import registry
+from repro.experiments.spec import ExperimentSpec
+
+#: The registry scenario every rung derives from.
+BASE_SCENARIO = "quickstart"
+
+#: One fixed seed for the whole ladder: bench runs must be reproducible.
+LADDER_SEED = 42
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One pinned point on the scaling ladder."""
+
+    name: str
+    n_br: int
+    ags_per_br: int
+    aps_per_ag: int
+    mhs_per_ap: int
+    duration_ms: float
+
+    @property
+    def overrides(self) -> Dict[str, Any]:
+        """Dotted-path spec overrides realizing this rung."""
+        return {
+            "hierarchy.n_br": self.n_br,
+            "hierarchy.ags_per_br": self.ags_per_br,
+            "hierarchy.aps_per_ag": self.aps_per_ag,
+            "hierarchy.mhs_per_ap": self.mhs_per_ap,
+            "duration_ms": self.duration_ms,
+            "warmup_ms": 0.0,
+            "seed": LADDER_SEED,
+        }
+
+
+#: tens → thousands of nodes.  (nes, mhs, total) per rung:
+#:   xs: (6, 4, 10)     s: (21, 24, 45)      m: (64, 192, 256)
+#:   l: (174, 864, 1038)   xl: (368, 1920, 2288)
+LADDER: Tuple[Rung, ...] = (
+    Rung("xs", n_br=2, ags_per_br=1, aps_per_ag=1, mhs_per_ap=2,
+         duration_ms=4_000.0),
+    Rung("s", n_br=3, ags_per_br=2, aps_per_ag=2, mhs_per_ap=2,
+         duration_ms=4_000.0),
+    Rung("m", n_br=4, ags_per_br=3, aps_per_ag=4, mhs_per_ap=4,
+         duration_ms=2_000.0),
+    Rung("l", n_br=6, ags_per_br=4, aps_per_ag=6, mhs_per_ap=6,
+         duration_ms=1_000.0),
+    Rung("xl", n_br=8, ags_per_br=5, aps_per_ag=8, mhs_per_ap=6,
+         duration_ms=500.0),
+)
+
+
+def rung_names() -> List[str]:
+    """Ladder rung names, smallest first."""
+    return [r.name for r in LADDER]
+
+
+def get_rung(name: str) -> Rung:
+    """The rung called ``name`` (KeyError with the valid list otherwise)."""
+    for rung in LADDER:
+        if rung.name == name:
+            return rung
+    raise KeyError(
+        f"unknown ladder rung {name!r}; known: {', '.join(rung_names())}")
+
+
+def rung_spec(rung: Rung) -> ExperimentSpec:
+    """Materialize a rung as a runnable spec."""
+    return registry.get(BASE_SCENARIO, **rung.overrides)
+
+
+def node_counts(spec: ExperimentSpec) -> Dict[str, int]:
+    """NE/MH/total population of a spec's hierarchy (depth-1 and deep)."""
+    h = spec.hierarchy
+    if h.depth > 1:
+        ags = sum(h.n_br * h.ring_size ** level
+                  for level in range(1, h.depth + 1))
+        leaf_ags = h.n_br * h.ring_size ** h.depth
+        aps = leaf_ags * h.aps_per_ag
+    else:
+        ags = h.n_br * h.ags_per_br
+        aps = ags * h.aps_per_ag
+    nes = h.n_br + ags + aps
+    mhs = aps * h.mhs_per_ap
+    return {"nes": nes, "mhs": mhs, "total": nes + mhs}

@@ -1,0 +1,204 @@
+"""Measure a spec: wall-clock, events/sec, peak event-heap.
+
+The measured quantity is the discrete-event engine's throughput —
+``Simulator.events_processed`` divided by the ``time.perf_counter``
+wall-clock of the run loop — which is what "runs as fast as the
+hardware allows" means for a simulator: every protocol optimization
+(fewer timer events, cheaper snapshots, leaner emit) shows up either as
+fewer events for the same simulated time or as more events per second.
+
+Measured runs use a :class:`~repro.sim.trace.TraceBus` with counting
+disabled and no subscribers, so the trace fast path is what production
+benchmark runs actually execute.  ``check=True`` adds one *separate*
+monitored run (not timed into the headline numbers) that attaches the
+full :mod:`repro.validation` suite and reports violations.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+
+#: Schema tag written into every report, bumped on breaking changes.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Events processed by one calibration pass (see :func:`calibrate`).
+CALIBRATION_EVENTS = 50_000
+
+
+def calibrate(events: int = CALIBRATION_EVENTS) -> float:
+    """Events/sec of a null workload: the engine spinning no-op events.
+
+    This measures the host's raw engine throughput with zero protocol
+    work, so dividing a scenario's events/sec by it yields a
+    *machine-normalized* rate that is comparable across hosts of
+    different speeds (same Python implementation).  That is what lets a
+    committed baseline gate CI runs on hardware the baseline was never
+    recorded on.
+    """
+    sim = Simulator(seed=0, trace=TraceBus(counting=False))
+
+    def tick() -> None:
+        if sim.events_processed < events:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return sim.events_processed / wall if wall > 0 else 0.0
+
+
+@dataclass
+class BenchResult:
+    """One benchmarked spec (best-of-``repeat`` headline numbers)."""
+
+    name: str
+    system: str
+    seed: int
+    duration_ms: float
+    nes: int = 0
+    mhs: int = 0
+    sources: int = 0
+    nodes: int = 0
+    events: int = 0
+    build_s: float = 0.0
+    wall_s: float = 0.0
+    events_per_sec: float = 0.0
+    peak_heap: int = 0
+    compactions: int = 0
+    deliveries: int = 0
+    repeat: int = 1
+    wall_s_all: List[float] = field(default_factory=list)
+    checked: bool = False
+    violations: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "system": self.system,
+            "seed": self.seed,
+            "duration_ms": self.duration_ms,
+            "nes": self.nes,
+            "mhs": self.mhs,
+            "sources": self.sources,
+            "nodes": self.nodes,
+            "events": self.events,
+            "build_s": round(self.build_s, 6),
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_heap": self.peak_heap,
+            "compactions": self.compactions,
+            "deliveries": self.deliveries,
+            "repeat": self.repeat,
+            "wall_s_all": [round(w, 6) for w in self.wall_s_all],
+            "checked": self.checked,
+            "violations": list(self.violations),
+        }
+
+
+def _populations(net) -> Dict[str, int]:
+    # ``nodes`` = NE + MH, matching repro.bench.ladder.node_counts and
+    # the documented rung totals; traffic sources are reported apart.
+    nes = len(getattr(net, "nes", ()))
+    mhs = len(getattr(net, "mobile_hosts", ()))
+    sources = len(getattr(net, "sources", ()))
+    return {"nes": nes, "mhs": mhs, "sources": sources, "nodes": nes + mhs}
+
+
+def measure_spec(spec: ExperimentSpec, repeat: int = 1,
+                 check: bool = False) -> BenchResult:
+    """Benchmark one spec; headline numbers are the fastest repeat.
+
+    Every repeat is a complete fresh build+run (same seed, so the same
+    event sequence); best-of-N damps scheduler noise the way
+    ``pytest-benchmark``'s min-based OPS does.
+    """
+    from repro.experiments.runner import build_scenario  # lazy: heavy
+
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best: Optional[Dict[str, Any]] = None
+    walls: List[float] = []
+    for _ in range(repeat):
+        sim = Simulator(seed=spec.seed, trace=TraceBus(counting=False))
+        t0 = time.perf_counter()
+        scenario = build_scenario(spec, sim=sim)
+        t1 = time.perf_counter()
+        scenario.run()
+        t2 = time.perf_counter()
+        wall = t2 - t1
+        walls.append(wall)
+        rate = sim.events_processed / wall if wall > 0 else 0.0
+        if best is None or rate > best["events_per_sec"]:
+            best = {
+                "build_s": t1 - t0,
+                "wall_s": wall,
+                "events": sim.events_processed,
+                "events_per_sec": rate,
+                "peak_heap": sim.peak_heap,
+                "compactions": sim.compactions,
+                "deliveries": scenario.net.total_app_deliveries(),
+                **_populations(scenario.net),
+            }
+
+    result = BenchResult(
+        name=spec.name,
+        system=spec.system,
+        seed=spec.seed,
+        duration_ms=spec.duration_ms,
+        repeat=repeat,
+        wall_s_all=walls,
+        **best,
+    )
+    if check:
+        from repro.validation.suite import check_spec  # lazy: optional layer
+        checked = check_spec(spec)
+        result.checked = True
+        result.violations = list(checked.violations)
+    return result
+
+
+def bench_report(results: Sequence[BenchResult], kind: str, name: str,
+                 calibration: Optional[float] = None) -> Dict[str, Any]:
+    """Assemble the machine-readable ``BENCH_*.json`` payload.
+
+    ``calibration`` (best-of-3 :func:`calibrate` when omitted) stamps
+    the host's null-engine throughput into the report and gives every
+    entry an ``events_per_sec_norm`` — the machine-normalized rate the
+    baseline comparison prefers.
+    """
+    if calibration is None:
+        calibration = max(calibrate() for _ in range(3))
+    entries = []
+    for r in results:
+        entry = r.to_dict()
+        if calibration > 0:
+            entry["events_per_sec_norm"] = round(
+                r.events_per_sec / calibration, 6)
+        entries.append(entry)
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "name": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "calibration_events_per_sec": round(calibration, 1),
+        "results": entries,
+    }
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

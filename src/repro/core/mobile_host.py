@@ -168,11 +168,10 @@ class MobileHost(NetNode):
                 break
             if not bm.received:
                 # A tombstone: counted delivered, nothing reaches the app.
-                bm.delivered = True
+                self.mq.mark_delivered(bm.global_seq)
                 self.mq.advance_front()
                 continue
-            bm.delivered = True
-            bm.delivered_at = self.now
+            self.mq.mark_delivered(bm.global_seq, at=self.now)
             self.mq.advance_front()
             latency = self.now - bm.created_at
             self.app_log.append((bm.global_seq, bm.payload, latency))

@@ -17,7 +17,6 @@ and :meth:`OrderingToken.age` decrements on every hop.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -115,8 +114,33 @@ class OrderingToken:
         return None
 
     def snapshot(self) -> "OrderingToken":
-        """Deep copy kept as a node's New/Old OrderingToken."""
-        return copy.deepcopy(self)
+        """Independent copy kept as a node's New/Old OrderingToken.
+
+        Field-wise rather than ``copy.deepcopy``: a snapshot is taken on
+        every token hop and every regeneration, and deepcopy's generic
+        memo machinery dominated that hot path.  ``token_id`` is a tuple
+        of immutables and safe to share; WTSNP entries are rebuilt so
+        later :meth:`age`/:meth:`assign` calls on either copy never
+        alias the other.
+        """
+        return OrderingToken(
+            gid=self.gid,
+            next_global_seq=self.next_global_seq,
+            wtsnp=[
+                WTSNPEntry(
+                    source=e.source,
+                    min_local=e.min_local,
+                    max_local=e.max_local,
+                    ordering_node=e.ordering_node,
+                    min_global=e.min_global,
+                    max_global=e.max_global,
+                    ttl_hops=e.ttl_hops,
+                )
+                for e in self.wtsnp
+            ],
+            token_id=self.token_id,
+            hops=self.hops,
+        )
 
     # ------------------------------------------------------------------
     @property

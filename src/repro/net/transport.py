@@ -31,13 +31,13 @@ Usage pattern inside a node::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.net.address import NodeId
 from repro.net.message import Message
 from repro.net.node import NetNode
-from repro.sim.timers import Timer
+from repro.sim.engine import Event
 
 
 class Segment(Message):
@@ -74,14 +74,22 @@ class TransportStats:
     delivered: int = 0
 
 
-@dataclass
 class _Outstanding:
-    """Book-keeping for one unacked segment."""
+    """Book-keeping for one unacked segment.
 
-    dst: NodeId
-    segment: Segment
-    retries_left: int
-    timer: Timer = field(repr=False, default=None)  # type: ignore[assignment]
+    Holds the raw scheduler :class:`Event` of the pending RTO rather
+    than a :class:`~repro.sim.timers.Timer`: channels create one of
+    these per sent message, and the extra wrapper object plus its
+    attribute dict were measurable on the send hot path.
+    """
+
+    __slots__ = ("dst", "segment", "retries_left", "rto_event")
+
+    def __init__(self, dst: NodeId, segment: Segment, retries_left: int):
+        self.dst = dst
+        self.segment = segment
+        self.retries_left = retries_left
+        self.rto_event: Optional[Event] = None
 
 
 class ReliableChannel:
@@ -143,7 +151,6 @@ class ReliableChannel:
         self._next_seq[dst] = seq + 1
         seg = Segment(seq, payload)
         out = _Outstanding(dst, seg, self.max_retries)
-        out.timer = Timer(self.node.sim, self._on_timeout, dst, seq)
         self._outstanding[(dst, seq)] = out
         live = self._in_flight_by_dst.get(dst, 0) + 1
         self._in_flight_by_dst[dst] = live
@@ -151,7 +158,8 @@ class ReliableChannel:
             self.peak_in_flight_by_dst[dst] = live
         self.stats.sent += 1
         self.node.send(dst, seg)
-        out.timer.start(self.rto)
+        out.rto_event = self.node.sim.schedule(
+            self.rto, self._on_timeout, dst, seq)
         return seq
 
     def _drop_outstanding(self, dst: NodeId, seq: int) -> Optional[_Outstanding]:
@@ -159,6 +167,11 @@ class ReliableChannel:
         if out is not None:
             self._in_flight_by_dst[dst] = self._in_flight_by_dst.get(dst, 1) - 1
         return out
+
+    def _cancel_rto(self, out: _Outstanding) -> None:
+        if out.rto_event is not None:
+            self.node.sim.cancel(out.rto_event)
+            out.rto_event = None
 
     def _on_timeout(self, dst: NodeId, seq: int) -> None:
         out = self._outstanding.get((dst, seq))
@@ -180,7 +193,8 @@ class ReliableChannel:
         out.retries_left -= 1
         self.stats.retransmitted += 1
         self.node.send(dst, out.segment)
-        out.timer.start(self.rto)
+        out.rto_event = self.node.sim.schedule(
+            self.rto, self._on_timeout, dst, seq)
 
     @property
     def in_flight(self) -> int:
@@ -191,7 +205,7 @@ class ReliableChannel:
         """Abandon outstanding segments (to ``dst``, or all)."""
         keys = [k for k in self._outstanding if dst is None or k[0] == dst]
         for k in keys:
-            self._outstanding[k].timer.stop()
+            self._cancel_rto(self._outstanding[k])
             self._drop_outstanding(*k)
 
     # ------------------------------------------------------------------
@@ -207,7 +221,7 @@ class ReliableChannel:
         if isinstance(msg, SegAck):
             out = self._drop_outstanding(msg.src, msg.seq)
             if out is not None:
-                out.timer.stop()
+                self._cancel_rto(out)
                 self.stats.acked += 1
                 if self.on_ack is not None:
                     self.on_ack(out.dst, out.segment.payload)

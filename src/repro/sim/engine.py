@@ -11,6 +11,21 @@ Cancellation is *lazy*: :meth:`Simulator.cancel` marks the event and the
 main loop discards cancelled entries when they surface, so cancel is O(1)
 and the heap never needs re-sifting.  This matters because protocol
 retransmission timers are cancelled far more often than they fire.
+
+Lazy cancellation alone leaks: a retransmission timer cancelled on ack
+sits in the heap until its (far-future) deadline surfaces, so a long run
+accumulates millions of dead entries.  The simulator therefore *compacts*
+— rebuilds the heap from only the live events — whenever cancelled
+entries outnumber live ones and the heap is big enough to care
+(:data:`COMPACT_MIN_SIZE`).  Compaction cannot change behaviour: event
+order is a strict total order on ``(time, seq)``, so popping from the
+rebuilt heap yields exactly the same sequence of events.
+
+The heap itself stores ``(time, seq, Event)`` tuples rather than bare
+events: ``(time, seq)`` is unique, so comparisons never reach the event
+object and stay entirely in C — sift comparisons were the single
+hottest line of large benchmark runs when they went through
+``Event.__lt__``.
 """
 
 from __future__ import annotations
@@ -27,6 +42,11 @@ class SimulationError(RuntimeError):
     """Raised for scheduler misuse (negative delays, running twice, ...)."""
 
 
+#: Heaps smaller than this are never compacted: rebuilding a tiny heap
+#: costs more than letting the main loop skip its few dead entries.
+COMPACT_MIN_SIZE = 64
+
+
 class Event:
     """A scheduled callback.
 
@@ -35,7 +55,7 @@ class Event:
     :meth:`Simulator.cancel` it.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "in_heap")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -43,6 +63,9 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Whether the event is still queued; lets Simulator.cancel keep an
+        # exact live count even when cancelling an already-fired event.
+        self.in_heap = True
 
     def __lt__(self, other: "Event") -> bool:
         # Primary key: simulated time.  Tie-break: scheduling order.
@@ -76,14 +99,17 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[TraceBus] = None):
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._running = False
         self._stopped = False
+        self._cancelled_in_heap: int = 0
         self.seed = seed
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceBus()
         self.events_processed: int = 0
+        self.peak_heap: int = 0
+        self.compactions: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -100,13 +126,44 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        ev = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._counter)
+        ev = Event(time, seq, fn, args)
+        heapq.heappush(self._heap, (time, seq, ev))
+        if len(self._heap) > self.peak_heap:
+            self.peak_heap = len(self._heap)
         return ev
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already fired)."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        if not event.in_heap:
+            return
+        self._cancelled_in_heap += 1
+        # Compact when dead entries dominate a heap worth compacting;
+        # amortized O(1) per cancel, and retransmission timers cancelled
+        # on ack no longer accumulate until their far-future deadlines.
+        if (self._cancelled_in_heap * 2 > len(self._heap)
+                and len(self._heap) >= COMPACT_MIN_SIZE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live events only (order-preserving)."""
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2].in_heap = False
+        self._heap = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
+
+    def _discard_cancelled_top(self) -> None:
+        """Pop cancelled entries off the top of the heap."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2].in_heap = False
+            self._cancelled_in_heap -= 1
 
     # ------------------------------------------------------------------
     # Random streams
@@ -139,13 +196,16 @@ class Simulator:
             while self._heap:
                 if self._stopped:
                     break
-                ev = self._heap[0]
+                ev = self._heap[0][2]
                 if ev.cancelled:
                     heapq.heappop(self._heap)
+                    ev.in_heap = False
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and ev.time > until:
                     break
                 heapq.heappop(self._heap)
+                ev.in_heap = False
                 if ev.time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event heap yielded a past event")
                 self.now = ev.time
@@ -171,11 +231,11 @@ class Simulator:
 
     def step(self) -> bool:
         """Process exactly one pending event.  Returns False if none left."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._discard_cancelled_top()
         if not self._heap:
             return False
-        ev = heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)[2]
+        ev.in_heap = False
         self.now = ev.time
         ev.fn(*ev.args)
         self.events_processed += 1
@@ -183,14 +243,13 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        self._discard_cancelled_top()
+        return self._heap[0][0] if self._heap else None
 
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

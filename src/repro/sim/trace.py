@@ -39,22 +39,46 @@ class TraceBus:
     record:
         When True, every emitted record is appended to :attr:`records`
         (useful in tests; avoid in long benchmark runs).
+    counting:
+        When True (the default), :attr:`counts` tallies emits per kind.
+        Benchmark runs pass False so the nobody-listens fast path does
+        no dict mutation at all.
     """
 
-    def __init__(self, record: bool = False):
+    def __init__(self, record: bool = False, counting: bool = True):
         self._subs_by_kind: Dict[str, List[Subscriber]] = {}
         self._subs_all: List[Subscriber] = []
         self.record = record
+        self.counting = counting
         self.records: List[TraceRecord] = []
         self.counts: Dict[str, int] = {}
+        # Emit-side dispatch caches, rebuilt on (un)subscribe: the
+        # wildcard list as a tuple, and per subscribed kind the deduped
+        # kind-subscribers-then-wildcards call list.  ``emit`` only ever
+        # does one dict lookup against these.
+        self._wild: tuple = ()
+        self._dispatch: Dict[str, tuple] = {}
+
+    def _rebuild_dispatch(self) -> None:
+        self._wild = tuple(self._subs_all)
+        self._dispatch = {
+            kind: tuple(subs) + tuple(
+                fn for fn in self._subs_all if fn not in subs)
+            for kind, subs in self._subs_by_kind.items()
+        }
 
     # ------------------------------------------------------------------
     def subscribe(self, kind: Optional[str], fn: Subscriber) -> None:
-        """Subscribe ``fn`` to records of ``kind`` (None = all kinds)."""
+        """Subscribe ``fn`` to records of ``kind`` (None = all kinds).
+
+        A subscriber registered for both a kind and the wildcard is
+        called once per record, not twice.
+        """
         if kind is None:
             self._subs_all.append(fn)
         else:
             self._subs_by_kind.setdefault(kind, []).append(fn)
+        self._rebuild_dispatch()
 
     def unsubscribe(self, kind: Optional[str], fn: Subscriber) -> None:
         """Remove a subscription added with :meth:`subscribe`."""
@@ -67,6 +91,7 @@ class TraceBus:
                 # Drop the empty list so ``emit`` stays on its cheap
                 # nobody-listens fast path for this kind.
                 del self._subs_by_kind[kind]
+        self._rebuild_dispatch()
 
     @contextmanager
     def subscription(self, kind: Optional[str], fn: Subscriber) -> Iterator[Subscriber]:
@@ -92,17 +117,18 @@ class TraceBus:
     # ------------------------------------------------------------------
     def emit(self, time: float, kind: str, **attrs: Any) -> None:
         """Publish a record; cheap when nobody listens."""
-        self.counts[kind] = self.counts.get(kind, 0) + 1
-        subs = self._subs_by_kind.get(kind)
-        if subs is None and not self._subs_all and not self.record:
-            return
+        if self.counting:
+            counts = self.counts
+            counts[kind] = counts.get(kind, 0) + 1
+        fns = self._dispatch.get(kind)
+        if fns is None:
+            fns = self._wild
+            if not fns and not self.record:
+                return
         rec = TraceRecord(time, kind, attrs)
         if self.record:
             self.records.append(rec)
-        if subs:
-            for fn in subs:
-                fn(rec)
-        for fn in self._subs_all:
+        for fn in fns:
             fn(rec)
 
     # ------------------------------------------------------------------

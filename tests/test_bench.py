@@ -1,0 +1,230 @@
+"""Unit tests for the repro.bench subsystem (ladder, measure, compare, CLI)."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (LADDER, compare_reports, bench_report, measure_spec,
+                         node_counts, rung_names, rung_spec, write_report)
+from repro.bench.compare import ComparisonReport, Delta
+from repro.bench.ladder import BASE_SCENARIO, LADDER_SEED, get_rung
+from repro.bench.measure import BENCH_SCHEMA
+from repro.experiments import registry
+
+
+# ---------------------------------------------------------------------------
+# Ladder definitions
+# ---------------------------------------------------------------------------
+def test_ladder_has_at_least_four_rungs_spanning_tens_to_thousands():
+    assert len(LADDER) >= 4
+    totals = [node_counts(rung_spec(r))["total"] for r in LADDER]
+    assert totals == sorted(totals), "rungs must grow monotonically"
+    assert totals[0] <= 50
+    assert totals[-1] >= 2000
+
+
+def test_ladder_rungs_are_pinned_and_seeded():
+    for rung in LADDER:
+        spec = rung_spec(rung)
+        assert spec.seed == LADDER_SEED
+        assert spec.warmup_ms == 0.0
+        assert spec.duration_ms == rung.duration_ms
+    assert BASE_SCENARIO in registry.names()
+
+
+def test_get_rung_by_name_and_unknown():
+    assert get_rung("xs") is LADDER[0]
+    with pytest.raises(KeyError):
+        get_rung("nope")
+
+
+def test_node_counts_depth1_formula():
+    spec = registry.get("quickstart")  # n_br=3, ags=2, aps=2, mhs=2
+    counts = node_counts(spec)
+    assert counts == {"nes": 3 + 6 + 12, "mhs": 24, "total": 45}
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_result():
+    spec = registry.get("quickstart", **{"duration_ms": 300.0,
+                                         "warmup_ms": 0.0, "seed": 5})
+    return measure_spec(spec, repeat=2)
+
+
+def test_measure_spec_reports_engine_counters(tiny_result):
+    r = tiny_result
+    assert r.events > 0
+    assert r.wall_s > 0
+    assert r.events_per_sec == pytest.approx(r.events / r.wall_s)
+    assert r.peak_heap > 0
+    assert r.nodes == r.nes + r.mhs  # sources reported separately
+    assert r.sources == 2
+    assert len(r.wall_s_all) == 2
+    assert r.wall_s == min(r.wall_s_all)  # best-of-N headline
+
+
+def test_measured_population_agrees_with_ladder_formula(tiny_result):
+    from repro.bench import node_counts
+
+    counts = node_counts(registry.get("quickstart"))
+    assert tiny_result.nodes == counts["total"]
+    assert (tiny_result.nes, tiny_result.mhs) == (counts["nes"],
+                                                  counts["mhs"])
+
+
+def test_measure_spec_repeat_validates():
+    with pytest.raises(ValueError):
+        measure_spec(registry.get("quickstart"), repeat=0)
+
+
+def test_measure_spec_check_attaches_monitors():
+    spec = registry.get("quickstart", **{"duration_ms": 300.0,
+                                         "warmup_ms": 0.0, "seed": 5})
+    r = measure_spec(spec, check=True)
+    assert r.checked is True
+    assert r.violations == []
+
+
+def test_bench_report_shape(tiny_result):
+    report = bench_report([tiny_result], kind="run", name="quickstart",
+                          calibration=1_000_000.0)
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["kind"] == "run"
+    assert report["calibration_events_per_sec"] == 1_000_000.0
+    entry = report["results"][0]
+    assert entry["name"] == "quickstart"
+    assert entry["events_per_sec"] > 0
+    assert entry["events_per_sec_norm"] == pytest.approx(
+        entry["events_per_sec"] / 1_000_000.0, rel=1e-3)
+    json.dumps(report)  # must be JSON-serializable as-is
+
+
+def test_calibrate_measures_null_engine_rate():
+    from repro.bench import calibrate
+
+    rate = calibrate(events=2_000)
+    assert rate > 0
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+def _report(rates, calibration=None):
+    entries = []
+    for n, r in rates.items():
+        entry = {"name": n, "events_per_sec": r}
+        if calibration:
+            entry["events_per_sec_norm"] = r / calibration
+        entries.append(entry)
+    return {"schema": BENCH_SCHEMA, "kind": "ladder", "name": "ladder",
+            "results": entries}
+
+
+def test_compare_flags_regressions_beyond_threshold():
+    cmp = compare_reports(_report({"xs": 79.0, "s": 100.0}),
+                          _report({"xs": 100.0, "s": 95.0}),
+                          threshold=0.20)
+    assert not cmp.ok
+    assert [d.name for d in cmp.regressions] == ["xs"]
+
+
+def test_compare_tolerates_slowdown_within_threshold():
+    cmp = compare_reports(_report({"xs": 81.0}), _report({"xs": 100.0}),
+                          threshold=0.20)
+    assert cmp.ok
+
+
+def test_compare_prefers_normalized_metric_across_machines():
+    """A 2x-slower host with the same per-event cost profile must pass:
+    raw rate halves, but so does the calibration divisor."""
+    fast = _report({"xs": 100_000.0}, calibration=1_000_000.0)
+    slow = _report({"xs": 50_000.0}, calibration=500_000.0)
+    cmp = compare_reports(slow, fast, threshold=0.20)
+    assert cmp.metric == "events_per_sec_norm"
+    assert cmp.ok
+    # Raw fallback when either side lacks the normalized rate.
+    cmp_raw = compare_reports(_report({"xs": 50_000.0}), fast,
+                              threshold=0.20)
+    assert cmp_raw.metric == "events_per_sec"
+    assert not cmp_raw.ok
+
+
+def test_compare_unmatched_entries_never_fail():
+    cmp = compare_reports(_report({"xs": 10.0, "new": 1.0}),
+                          _report({"xs": 10.0, "old": 500.0}))
+    assert cmp.ok
+    assert cmp.only_current == ["new"]
+    assert cmp.only_baseline == ["old"]
+
+
+def test_compare_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        compare_reports({"nope": 1}, _report({}))
+    with pytest.raises(ValueError):
+        compare_reports(_report({}), _report({}), threshold=1.5)
+
+
+def test_delta_zero_baseline_is_infinite_improvement():
+    d = Delta("x", current=10.0, baseline=0.0)
+    assert d.ratio == float("inf")
+    assert not d.regressed(0.2)
+
+
+def test_comparison_report_to_dict_round_trips():
+    cmp = ComparisonReport(threshold=0.2,
+                           deltas=[Delta("xs", 75.0, 100.0)])
+    data = cmp.to_dict()
+    assert data["ok"] is False
+    assert data["deltas"][0]["regressed"] is True
+    json.dumps(data)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_run_writes_bench_json(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "BENCH_quickstart.json"
+    rc = main(["run", "quickstart", "--duration", "300",
+               "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["results"][0]["events_per_sec"] > 0
+
+
+def test_cli_ladder_smallest_rung_and_baseline_cycle(tmp_path):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "BENCH_ladder.json"
+    assert main(["ladder", "--rungs", "xs", "--out", str(out)]) == 0
+    # Second run against the first as baseline: same machine, same
+    # workload, must be within any sane threshold.
+    out2 = tmp_path / "BENCH_ladder2.json"
+    assert main(["ladder", "--rungs", "xs", "--out", str(out2),
+                 "--baseline", str(out), "--threshold", "0.9"]) == 0
+    # And the standalone compare agrees.
+    assert main(["compare", str(out2), str(out),
+                 "--threshold", "0.9"]) == 0
+
+
+def test_cli_compare_detects_regression(tmp_path):
+    from repro.bench.__main__ import main
+
+    cur, base = tmp_path / "cur.json", tmp_path / "base.json"
+    write_report(str(cur), _report({"xs": 50.0}))
+    write_report(str(base), _report({"xs": 100.0}))
+    assert main(["compare", str(cur), str(base)]) == 1
+    assert main(["compare", str(base), str(cur)]) == 0
+
+
+def test_cli_unknown_scenario_is_usage_error(tmp_path):
+    from repro.bench.__main__ import main
+
+    assert main(["run", "no_such_scenario",
+                 "--out", str(tmp_path / "x.json")]) == 2

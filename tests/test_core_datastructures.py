@@ -274,3 +274,62 @@ def test_wt_children_sorted():
     wt.add_child("b", 0)
     wt.add_child("a", 0)
     assert wt.children == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# MQ pending index (incremental, no full-store sort)
+# ---------------------------------------------------------------------------
+def test_mq_pending_tracks_lifecycle():
+    mq = MessageQueue()
+    for seq in (0, 2, 1):
+        mq.insert(bm(seq))
+    assert mq.pending == 3
+    mq.mark_delivered(0)
+    mq.advance_front()
+    assert mq.pending == 2
+    mq.tombstone_lost(3)
+    assert mq.pending == 2          # tombstones arrive pre-delivered
+    mq.mark_delivered(1)
+    mq.mark_delivered(2)
+    mq.advance_front()
+    assert mq.pending == 0
+    assert mq.undelivered() == []
+
+
+def test_mq_undelivered_matches_brute_force():
+    import random
+
+    rng = random.Random(3)
+    mq = MessageQueue()
+    for seq in rng.sample(range(200), 120):
+        mq.insert(bm(seq))
+    for seq in rng.sample(range(200), 150):
+        if rng.random() < 0.5:
+            mq.mark_delivered(seq)
+        else:
+            mq.tombstone_lost(seq)
+    mq.advance_front()
+    mq.prune(retention=5)
+    brute = [m for s, m in sorted(mq._store.items()) if not m.delivered]
+    assert mq.undelivered() == brute
+    assert mq.pending == len(brute)
+
+
+def test_mq_pending_survives_prune_and_anchor():
+    mq = MessageQueue()
+    for seq in range(10):
+        mq.insert(bm(seq))
+        mq.mark_delivered(seq)
+    mq.advance_front()
+    assert mq.prune(retention=0) == 10
+    assert mq.pending == 0
+    mq.anchor(start_seq=50)
+    mq.insert(bm(50))
+    assert mq.pending == 1
+
+
+def test_mq_duplicate_insert_does_not_inflate_pending():
+    mq = MessageQueue()
+    assert mq.insert(bm(4))
+    assert not mq.insert(bm(4))
+    assert mq.pending == 1

@@ -93,3 +93,44 @@ def test_global_seq_never_reused_within_token():
             assert g not in seen
             seen.add(g)
     assert seen == set(range(60))
+
+
+# ---------------------------------------------------------------------------
+# snapshot() — field-wise copy must behave exactly like the old deepcopy
+# ---------------------------------------------------------------------------
+def _populated_token() -> OrderingToken:
+    t = OrderingToken(gid="g", token_id=(3, "br:1"))
+    t.assign("src:0", "br:0", 0, 9, ttl_hops=8)
+    t.assign("src:1", "br:1", 0, 4, ttl_hops=5)
+    t.assign("src:0", "br:0", 10, 12, ttl_hops=8)
+    t.hops = 7
+    return t
+
+
+def test_snapshot_equals_deepcopy():
+    import copy
+
+    t = _populated_token()
+    assert t.snapshot() == copy.deepcopy(t)
+    assert t.snapshot() == t  # dataclass equality: identical field values
+
+
+def test_snapshot_is_independent_of_original():
+    t = _populated_token()
+    snap = t.snapshot()
+    # Mutating the original (the ongoing rotation) must not leak into
+    # the retained snapshot...
+    t.assign("src:2", "br:2", 0, 1)
+    t.age()
+    assert len(snap) == 3
+    assert snap.next_global_seq == 18
+    assert snap.wtsnp[0].ttl_hops == 8
+    # ...and aging the snapshot must not touch the live token.
+    before = [e.ttl_hops for e in t.wtsnp]
+    snap.age()
+    assert [e.ttl_hops for e in t.wtsnp] == before
+
+
+def test_snapshot_of_snapshot_round_trips():
+    t = _populated_token()
+    assert t.snapshot().snapshot() == t

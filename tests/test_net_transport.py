@@ -150,3 +150,28 @@ def test_heavy_bidirectional_traffic(sim):
         b.chan.send("a", Ping(100 + i))
     sim.run(until=20_000)
     assert len(a.payloads) == 25 and len(b.payloads) == 25
+
+
+def test_ack_cancels_rto_event_in_scheduler(sim):
+    """An acked segment leaves no armed retransmission event behind —
+    the heap-leak half of the lazy-cancel fix, seen from the channel."""
+    _, a, b = make_pair(sim)
+    for i in range(10):
+        a.chan.send("b", Ping(i))
+    sim.run()
+    assert a.chan.in_flight == 0
+    assert sim.pending == 0          # every RTO event cancelled or fired
+    assert a.chan.stats.retransmitted == 0
+
+
+def test_cancel_all_disarms_rto_events(sim):
+    _, a, b = make_pair(sim, latency=1.0, rto=50.0)
+    for i in range(5):
+        a.chan.send("b", Ping(i))
+    a.chan.cancel_all()
+    before = sim.events_processed
+    sim.run()
+    # Only the 5 in-flight segments + 5 acks arrive; no timeout fires.
+    assert a.chan.stats.retransmitted == 0
+    assert a.chan.stats.gave_up == 0
+    assert sim.events_processed == before + 10

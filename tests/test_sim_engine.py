@@ -185,3 +185,85 @@ def test_zero_delay_event_fires_at_current_time(sim):
     times = []
     sim.run()
     assert times == [5.0]
+
+
+# ---------------------------------------------------------------------------
+# Lazy-cancel compaction
+# ---------------------------------------------------------------------------
+def test_cancelled_timer_flood_keeps_heap_bounded(sim):
+    """Regression: 100k scheduled+cancelled far-future timers must not
+    accumulate in the heap until their deadlines (the retransmission-
+    timer-cancelled-on-ack pattern)."""
+    from repro.sim.engine import COMPACT_MIN_SIZE
+
+    for i in range(100_000):
+        ev = sim.schedule(1e9 + i, lambda: None)
+        sim.cancel(ev)
+        assert len(sim._heap) <= COMPACT_MIN_SIZE
+    assert sim.pending == 0
+    assert sim.compactions > 0
+
+
+def test_compaction_bounds_heap_with_live_events(sim):
+    """Interleaved live + cancelled events: heap stays O(live)."""
+    live = []
+    for i in range(10_000):
+        live.append(sim.schedule(1e6 + i, lambda: None))
+        sim.cancel(sim.schedule(2e6 + i, lambda: None))
+    # At most half the heap is dead at any point after a compaction
+    # opportunity, so the heap never exceeds ~2x the live population.
+    assert len(sim._heap) <= 2 * len(live) + 1
+    assert sim.pending == len(live)
+
+
+def test_compaction_preserves_event_order():
+    """Popping from a compacted heap must yield the exact pre-compaction
+    event order (the trace-identity guarantee, in miniature)."""
+    import random
+
+    rng = random.Random(7)
+    sim = Simulator(seed=0)
+    expected = []
+    for i in range(5_000):
+        t = rng.uniform(0.0, 100.0)
+        ev = sim.schedule(t, expected.append, None)  # placeholder arg
+        if rng.random() < 0.7:
+            sim.cancel(ev)
+        else:
+            ev.args = (ev,)  # fire with identity so we can track order
+            expected.append(ev)
+    expected_order = sorted(expected, key=lambda e: (e.time, e.seq))
+    fired = []
+    for ev in expected:
+        ev.fn = fired.append
+    sim.run()
+    assert fired == expected_order
+
+
+def test_pending_is_exact_after_mixed_cancels(sim):
+    events = [sim.schedule(float(i % 17) + 1.0, lambda: None)
+              for i in range(500)]
+    for ev in events[::3]:
+        sim.cancel(ev)
+        sim.cancel(ev)  # double-cancel must not double-count
+    brute = sum(1 for ev in events if not ev.cancelled)
+    assert sim.pending == brute
+
+
+def test_cancel_after_fire_is_harmless(sim):
+    ev = sim.schedule(1.0, lambda: None)
+    live = sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    sim.cancel(ev)  # already fired
+    assert sim.pending == 1
+    sim.run()
+    assert sim.events_processed == 2
+    assert live.cancelled is False
+
+
+def test_peak_heap_counter(sim):
+    for i in range(10):
+        sim.schedule(float(i) + 1.0, lambda: None)
+    assert sim.peak_heap == 10
+    sim.run()
+    assert sim.peak_heap == 10  # fires don't raise the peak

@@ -147,10 +147,12 @@ def test_no_subscriber_leak_across_repeated_runs():
     bus = TraceBus()
     for _ in range(50):
         got = []
+        # The same callback on both its kind and the wildcard is deduped:
+        # one record, one call.
         with bus.subscription("mh.deliver", got.append), \
                 bus.subscription(None, got.append):
             bus.emit(1.0, "mh.deliver", mh="m")
-        assert len(got) == 2
+        assert len(got) == 1
     assert bus.subscriber_count == 0
     # The empty-list cleanup restores the cheap fast path entirely.
     assert bus._subs_by_kind == {} and bus._subs_all == []
@@ -165,3 +167,40 @@ def test_monitor_suite_leaves_no_subscribers_across_runs():
         bus.emit(1.0, "mh.join", mh="m", ap="a")
         suite.detach()
     assert bus.subscriber_count == 0
+
+
+def test_counting_disabled_skips_counts_entirely():
+    bus = TraceBus(counting=False)
+    bus.emit(1.0, "x", a=1)
+    got = []
+    with bus.subscription("x", got.append):
+        bus.emit(2.0, "x", a=2)
+    assert bus.counts == {}          # no bookkeeping at all
+    assert len(got) == 1             # dispatch unaffected
+
+
+def test_dual_subscription_dedupes_dispatch():
+    """A subscriber on both its kind and the wildcard sees each record
+    exactly once; distinct subscribers are unaffected."""
+    bus = TraceBus()
+    both, wild_only, kind_only = [], [], []
+    bus.subscribe("x", both.append)
+    bus.subscribe(None, both.append)
+    bus.subscribe(None, wild_only.append)
+    bus.subscribe("x", kind_only.append)
+    bus.emit(1.0, "x", a=1)
+    bus.emit(2.0, "y", a=2)
+    assert [r.kind for r in both] == ["x", "y"]
+    assert [r.kind for r in wild_only] == ["x", "y"]
+    assert [r.kind for r in kind_only] == ["x"]
+
+
+def test_dispatch_rebuilt_after_unsubscribe():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("x", got.append)
+    bus.emit(1.0, "x")
+    bus.unsubscribe("x", got.append)
+    bus.emit(2.0, "x")
+    assert len(got) == 1
+    assert bus._subs_by_kind == {}   # fast path fully restored

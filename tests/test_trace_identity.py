@@ -1,0 +1,78 @@
+"""Byte-identity of every registry scenario against seed-commit traces.
+
+The golden streams under ``tests/data/seed_traces/`` were recorded at
+the pre-optimization seed state of the simulator (before heap
+compaction, the tuple heap, the field-wise token snapshot, the deduped
+trace dispatch, the MQ pending index, and the transport timer rework).
+Every optimization of the hot paths must keep each scenario's canonical
+JSONL stream **byte-identical**: ``first_divergence`` over the full
+stream is the proof that ordering, membership, and timing behaviour did
+not move at all.
+
+Regenerating goldens (only after an *intentional* behaviour change —
+never to make an optimization "pass"):
+
+    PYTHONPATH=src python tests/regen_seed_traces.py
+"""
+
+import gzip
+import os
+
+import pytest
+
+from repro.experiments import registry
+from repro.validation.record import first_divergence, record_spec, replay
+from repro.validation.suite import standard_suite
+
+TRACE_DIR = os.path.join(os.path.dirname(__file__), "data", "seed_traces")
+
+#: Shortened recording horizons (ms).  Durations are trimmed for suite
+#: speed but always cover every scheduled failure event of the scenario
+#: (failure_drill crashes at 3000/6000, correlated_ap_failures at 5000).
+DURATIONS = {
+    "failure_drill": 7000.0,
+    "correlated_ap_failures": 6000.0,
+}
+DEFAULT_DURATION = 2500.0
+
+
+def record(name: str):
+    """Record ``name`` exactly the way the goldens were recorded."""
+    duration = DURATIONS.get(name, DEFAULT_DURATION)
+    spec = registry.get(name)
+    overrides = {"duration_ms": duration}
+    if spec.warmup_ms >= duration:
+        overrides["warmup_ms"] = duration / 2
+    return record_spec(spec.with_overrides(overrides))
+
+
+def golden_lines(name: str):
+    path = os.path.join(TRACE_DIR, f"{name}.jsonl.gz")
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        return [line.rstrip("\n") for line in fh if line.strip()]
+
+
+def test_all_registry_scenarios_have_goldens():
+    missing = [n for n in registry.names()
+               if not os.path.exists(os.path.join(TRACE_DIR,
+                                                  f"{n}.jsonl.gz"))]
+    assert missing == [], f"no seed trace recorded for {missing}"
+
+
+@pytest.mark.parametrize("name", registry.names())
+def test_trace_byte_identical_to_seed(name):
+    rec = record(name)
+    div = first_divergence(golden_lines(name), rec.lines)
+    assert div is None, (
+        f"{name} diverged from its seed-commit trace at "
+        f"{div.describe()}")
+
+
+def test_recorded_stream_replays_through_monitor_suite():
+    """The golden streams stay consumable by the offline monitor path."""
+    from repro.validation.record import line_to_record
+
+    records = [line_to_record(line) for line in golden_lines("quickstart")]
+    suite = standard_suite("ringnet")
+    replay(records, suite)
+    assert suite.all_violations() == []
