@@ -41,6 +41,11 @@ def _print_result(r: BenchResult) -> None:
     line = (f"{r.name:12s} nodes={r.nodes:5d} events={r.events:9d} "
             f"wall={r.wall_s:7.3f}s  {r.events_per_sec:12,.0f} ev/s  "
             f"peak_heap={r.peak_heap}")
+    if r.shard_stats is not None:
+        line += (f"  windows={r.shard_stats['windows']} "
+                 f"stalls={r.shard_stats['window_stalls']}")
+    if r.speedup is not None:
+        line += f"  speedup={r.speedup:.2f}x"
     if r.checked:
         line += ("  check=ok" if not r.violations
                  else f"  check={len(r.violations)} VIOLATIONS")
@@ -97,16 +102,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import spec_for_args
 
     spec = spec_for_args(args)
-    result = measure_spec(spec, repeat=args.repeat, check=args.check)
+    shards = getattr(args, "shards", 1) or 1
+    result = measure_spec(spec, repeat=args.repeat, check=args.check,
+                          shards=shards)
     _print_result(result)
-    return _finish([result], kind="run", name=spec.name, args=args)
+    name = spec.name if shards == 1 else f"shard_{spec.name}"
+    return _finish([result], kind="run", name=name, args=args)
 
 
 def cmd_ladder(args: argparse.Namespace) -> int:
     if args.rungs:
-        rungs = [get_rung(n.strip()) for n in args.rungs.split(",")]
+        rungs = [get_rung(n) for n in args.rungs.split(",")]
     else:
         rungs = list(LADDER)
+    shards = getattr(args, "shards", 1) or 1
     results: List[BenchResult] = []
     for rung in rungs:
         spec = rung_spec(rung)
@@ -117,7 +126,15 @@ def cmd_ladder(args: argparse.Namespace) -> int:
         result.name = rung.name  # rung name, not the base scenario's
         results.append(result)
         _print_result(result)
-    return _finish(results, kind="ladder", name="ladder", args=args)
+        if shards > 1:
+            sharded = measure_spec(spec, repeat=args.repeat, shards=shards)
+            sharded.name = f"{rung.name}@{shards}shards"
+            sharded.speedup = (result.wall_s / sharded.wall_s
+                               if sharded.wall_s > 0 else 0.0)
+            results.append(sharded)
+            _print_result(sharded)
+    name = "shard_ladder" if shards > 1 else "ladder"
+    return _finish(results, kind="ladder", name=name, args=args)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -132,6 +149,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 # ----------------------------------------------------------------------
 def _add_measure_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--shards", type=int, default=1, metavar="K",
+                   help="also measure on the space-parallel backend with "
+                        "K worker processes (repro.shard); ladder reports "
+                        "a per-rung speedup column")
     p.add_argument("--repeat", type=int, default=1,
                    help="fresh build+run repetitions; headline numbers "
                         "are the fastest (default 1)")

@@ -69,18 +69,38 @@ LADDER: Tuple[Rung, ...] = (
 )
 
 
+#: Long-form spellings accepted anywhere a rung name is: people type
+#: ``--rungs xs,small`` at least as often as ``xs,s``.
+RUNG_ALIASES = {
+    "xsmall": "xs",
+    "extra-small": "xs",
+    "small": "s",
+    "medium": "m",
+    "large": "l",
+    "xlarge": "xl",
+    "extra-large": "xl",
+}
+
+
 def rung_names() -> List[str]:
     """Ladder rung names, smallest first."""
     return [r.name for r in LADDER]
 
 
 def get_rung(name: str) -> Rung:
-    """The rung called ``name`` (KeyError with the valid list otherwise)."""
+    """The rung called ``name`` (KeyError with the valid list otherwise).
+
+    Accepts the canonical short names and their :data:`RUNG_ALIASES`
+    long forms, case-insensitively and whitespace-tolerantly.
+    """
+    canon = name.strip().lower()
+    canon = RUNG_ALIASES.get(canon, canon)
     for rung in LADDER:
-        if rung.name == name:
+        if rung.name == canon:
             return rung
     raise KeyError(
-        f"unknown ladder rung {name!r}; known: {', '.join(rung_names())}")
+        f"unknown ladder rung {name!r}; known: {', '.join(rung_names())} "
+        f"(aliases: {', '.join(sorted(RUNG_ALIASES))})")
 
 
 def rung_spec(rung: Rung) -> ExperimentSpec:

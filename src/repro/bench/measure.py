@@ -79,9 +79,16 @@ class BenchResult:
     wall_s_all: List[float] = field(default_factory=list)
     checked: bool = False
     violations: List[str] = field(default_factory=list)
+    #: Worker-process count of a sharded measurement (1 = sequential).
+    shards: int = 1
+    #: Window/sync counters of a sharded measurement (repro.shard).
+    shard_stats: Optional[Dict[str, Any]] = None
+    #: Sequential-wall / sharded-wall for the same spec, filled by the
+    #: ladder when both sides were measured in one invocation.
+    speedup: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "system": self.system,
             "seed": self.seed,
@@ -94,6 +101,11 @@ class BenchResult:
             "build_s": round(self.build_s, 6),
             "wall_s": round(self.wall_s, 6),
             "events_per_sec": round(self.events_per_sec, 1),
+            # peak_heap/compactions are always present and meaningful
+            # even when compaction never triggered: peak_heap is the
+            # heap's true high-water mark (strictly positive for any
+            # run that scheduled at all), and compactions==0 then says
+            # "never needed", not "not measured".
             "peak_heap": self.peak_heap,
             "compactions": self.compactions,
             "deliveries": self.deliveries,
@@ -101,7 +113,13 @@ class BenchResult:
             "wall_s_all": [round(w, 6) for w in self.wall_s_all],
             "checked": self.checked,
             "violations": list(self.violations),
+            "shards": self.shards,
         }
+        if self.shard_stats is not None:
+            out["shard"] = dict(self.shard_stats)
+        if self.speedup is not None:
+            out["speedup"] = round(self.speedup, 3)
+        return out
 
 
 def _populations(net) -> Dict[str, int]:
@@ -114,19 +132,30 @@ def _populations(net) -> Dict[str, int]:
 
 
 def measure_spec(spec: ExperimentSpec, repeat: int = 1,
-                 check: bool = False) -> BenchResult:
+                 check: bool = False, shards: int = 1) -> BenchResult:
     """Benchmark one spec; headline numbers are the fastest repeat.
 
     Every repeat is a complete fresh build+run (same seed, so the same
     event sequence); best-of-N damps scheduler noise the way
-    ``pytest-benchmark``'s min-based OPS does.
-    """
-    from repro.experiments.runner import build_scenario  # lazy: heavy
+    ``pytest-benchmark``'s min-based OPS does.  ``peak_heap`` is the
+    max over *all* repeats (it is seed-determined, so repeats agree —
+    reported unconditionally so "no compaction" is never ambiguous).
 
+    ``shards > 1`` measures the same spec on the space-parallel backend
+    (:func:`repro.shard.run_sharded`): ``events`` sums every worker's
+    engine (replicated control events count per shard, a rounding error
+    on data-plane-dominated workloads) and ``wall_s`` is the
+    coordinator-observed parallel section.
+    """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
+    if shards > 1:
+        return _measure_sharded(spec, repeat, shards, check)
+    from repro.experiments.runner import build_scenario  # lazy: heavy
+
     best: Optional[Dict[str, Any]] = None
     walls: List[float] = []
+    peak_heap = 0
     for _ in range(repeat):
         sim = Simulator(seed=spec.seed, trace=TraceBus(counting=False))
         t0 = time.perf_counter()
@@ -136,6 +165,7 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
         t2 = time.perf_counter()
         wall = t2 - t1
         walls.append(wall)
+        peak_heap = max(peak_heap, sim.peak_heap)
         rate = sim.events_processed / wall if wall > 0 else 0.0
         if best is None or rate > best["events_per_sec"]:
             best = {
@@ -143,7 +173,6 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
                 "wall_s": wall,
                 "events": sim.events_processed,
                 "events_per_sec": rate,
-                "peak_heap": sim.peak_heap,
                 "compactions": sim.compactions,
                 "deliveries": scenario.net.total_app_deliveries(),
                 **_populations(scenario.net),
@@ -156,6 +185,7 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
         duration_ms=spec.duration_ms,
         repeat=repeat,
         wall_s_all=walls,
+        peak_heap=peak_heap,
         **best,
     )
     if check:
@@ -164,6 +194,49 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
         result.checked = True
         result.violations = list(checked.violations)
     return result
+
+
+def _measure_sharded(spec: ExperimentSpec, repeat: int,
+                     shards: int, check: bool) -> BenchResult:
+    from repro.bench.ladder import node_counts  # lazy: avoid import cycle
+    from repro.shard.runtime import run_sharded
+
+    if check:
+        raise ValueError(
+            "--check is a sequential-run feature; validate a sharded run "
+            "by replaying its recorded trace (python -m repro.shard "
+            "compare records one)")
+    best = None
+    walls: List[float] = []
+    peak_heap = 0
+    for _ in range(repeat):
+        res = run_sharded(spec, shards)
+        walls.append(res.wall_s)
+        peak_heap = max(peak_heap, res.peak_heap)
+        if best is None or res.events_per_sec > best.events_per_sec:
+            best = res
+    pops = node_counts(spec)
+    return BenchResult(
+        name=spec.name,
+        system=spec.system,
+        seed=spec.seed,
+        duration_ms=spec.duration_ms,
+        nes=pops["nes"],
+        mhs=pops["mhs"],
+        sources=len(spec.workload.source_rates),
+        nodes=pops["total"],
+        events=best.events,
+        build_s=best.build_s,
+        wall_s=best.wall_s,
+        events_per_sec=best.events_per_sec,
+        peak_heap=peak_heap,
+        compactions=best.compactions,
+        deliveries=best.deliveries,
+        repeat=repeat,
+        wall_s_all=walls,
+        shards=shards,
+        shard_stats=best.stats_dict(),
+    )
 
 
 def bench_report(results: Sequence[BenchResult], kind: str, name: str,

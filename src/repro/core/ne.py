@@ -140,12 +140,23 @@ class NetworkEntity(OrderingMixin, ForwardingMixin, DeliveringMixin,
         self._tau_timer.stop()
         self._maint_timer.stop()
 
-    def update_view(self, view: NeighborView, ring_size_hint: Optional[int] = None) -> None:
-        """Adopt new neighbor pointers after a topology change."""
-        was_top = self.view.in_top_ring
+    def adopt_view(self, view: NeighborView,
+                   ring_size_hint: Optional[int] = None) -> None:
+        """Structural half of a view update: pointers and ring-size hint.
+
+        No behaviour — safe to run replicated on every shard, which the
+        control plane requires: the token-loss signal chain schedules
+        itself from :meth:`expected_token_rotation`, so ``ring_size_hint``
+        must stay identical across replicas.
+        """
         self.view = view
         if ring_size_hint is not None:
             self.ring_size_hint = ring_size_hint
+
+    def update_view(self, view: NeighborView, ring_size_hint: Optional[int] = None) -> None:
+        """Adopt new neighbor pointers after a topology change."""
+        was_top = self.view.in_top_ring
+        self.adopt_view(view, ring_size_hint)
         if self.started and view.in_top_ring and not was_top:
             self._tau_timer.start()
 

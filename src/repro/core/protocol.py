@@ -136,15 +136,21 @@ class RingNet:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start all NEs and inject the initial OrderingToken."""
+        """Start all NEs and inject the initial OrderingToken.
+
+        Each NE starts inside its own ownership section, and the token
+        injection event is owned by the leader, so a shard worker only
+        arms the machinery of the entities it hosts.
+        """
         if self._started:
             return
         self._started = True
         for ne in self.nes.values():
-            ne.start()
+            self.sim.call_owned(ne.id, ne.start)
         leader = self.hierarchy.top_ring.leader
         token = OrderingToken(gid=self.cfg.gid, token_id=(0, leader))
-        self.sim.schedule(0.0, self.nes[leader].handle_token, TokenPass(token))
+        self.sim.schedule(0.0, self.nes[leader].handle_token, TokenPass(token),
+                          owner=leader)
 
     # ------------------------------------------------------------------
     # Sources and mobile hosts
@@ -168,6 +174,9 @@ class RingNet:
         self.fabric.connect(source_id, corresponding, WIRED)
         self.nes[corresponding].source_id = source_id
         self.sources[source_id] = src
+        if self.sim.shard is not None:
+            # A source rides with its corresponding node's shard.
+            self.sim.shard.adopt(source_id, corresponding)
         return src
 
     def add_mobile_host(self, mh_id: NodeId, ap_id: NodeId,
@@ -176,8 +185,15 @@ class RingNet:
         mh = MobileHost(self.fabric, mh_id, self.cfg)
         self.fabric.connect(mh_id, ap_id, self.wireless)
         self.mobile_hosts[mh_id] = mh
+        # The attachment pointer is structural state the mobility driver
+        # reads; set it here (replicated under sharding) so it is valid
+        # even where the behavioural join below is another shard's job.
+        mh.ap = ap_id
+        if self.sim.shard is not None:
+            # An MH rides with the shard of the AP it first attaches to.
+            self.sim.shard.adopt(mh_id, ap_id)
         if join:
-            mh.join(ap_id)
+            self.sim.call_owned(mh_id, mh.join, ap_id)
         return mh
 
     def handoff(self, mh_id: NodeId, new_ap: NodeId) -> None:
@@ -185,7 +201,7 @@ class RingNet:
         mh = self.mobile_hosts[mh_id]
         if self.fabric.link(mh_id, new_ap) is None:
             self.fabric.connect(mh_id, new_ap, self.wireless)
-        mh.handoff_to(new_ap)
+        self.sim.call_owned(mh_id, mh.handoff_to, new_ap)
 
     # ------------------------------------------------------------------
     # Faults
@@ -195,16 +211,34 @@ class RingNet:
 
         ``detection_delay`` models how long the membership protocol takes
         to notice and run its maintenance algorithm.
+
+        The liveness flip is control-plane state (replicated in every
+        shard — the fabric and the token-loss signal read it); timer
+        teardown and the trace record belong to the crashed entity.
         """
-        self.nes[node_id].crash()
-        self.nes[node_id].stop()
-        self.sim.trace.emit(self.sim.now, "fault.crash", node=node_id)
-        self.sim.schedule(detection_delay, self.maintenance.remove_ne, node_id)
+        ne = self.nes[node_id]
+        ne.crash()
+        self.sim.call_owned(node_id, self._crash_local, ne)
+        self.sim.schedule(detection_delay, self.maintenance.remove_ne, node_id,
+                          owner=None)
+
+    def _crash_local(self, ne: NetworkEntity) -> None:
+        ne.stop()
+        self.sim.trace.emit(self.sim.now, "fault.crash", node=ne.id)
 
     # ------------------------------------------------------------------
     # Topology change handling
     # ------------------------------------------------------------------
     def _on_topology_change(self, rec: ChangeRecord) -> None:
+        """Translate a maintenance record into protocol-level updates.
+
+        Runs in replicated control context under sharding, so every
+        touch of an NE's *behavioural* machinery — (un)registration,
+        which re-arms delivery and cancels channels, and view adoption,
+        which can start the τ timer — goes through an ownership section:
+        the NE's shard does the work, the others just tick counters.
+        Structural reads (hierarchy, change record) stay replicated.
+        """
         self._refresh_views()
         if rec.kind in ("ring_splice", "leader_change", "node_removed",
                         "top_ring_split"):
@@ -217,24 +251,34 @@ class RingNet:
             child, new_parent = rec["child"], rec["new"]
             old_parent = rec["old"]
             if old_parent in self.nes:
-                self.nes[old_parent].unregister_child(child)
+                self.sim.call_owned(old_parent,
+                                    self.nes[old_parent].unregister_child,
+                                    child)
             if new_parent is not None and new_parent in self.nes and child in self.nes:
                 if self.fabric.link(child, new_parent) is None:
                     self.fabric.connect(child, new_parent, WIRED)
-                self.nes[new_parent].register_child(child)
+                self.sim.call_owned(new_parent,
+                                    self.nes[new_parent].register_child,
+                                    child)
         if rec.kind == "leader_change":
             # The new leader inherits the tree link: move the parent NE's
             # delivery registration from the old leader to the new one.
             old_leader, new_leader = rec["old"], rec["new"]
             parent = self.hierarchy.parent.get(new_leader)
             if parent is not None and parent in self.nes:
-                parent_ne = self.nes[parent]
-                if parent_ne.has_child(old_leader):
-                    parent_ne.unregister_child(old_leader)
-                if new_leader in self.nes and not parent_ne.has_child(new_leader):
-                    if self.fabric.link(new_leader, parent) is None:
-                        self.fabric.connect(new_leader, parent, WIRED)
-                    parent_ne.register_child(new_leader)
+                if new_leader in self.nes and \
+                        self.fabric.link(new_leader, parent) is None:
+                    self.fabric.connect(new_leader, parent, WIRED)
+                self.sim.call_owned(parent, self._move_registration,
+                                    parent, old_leader, new_leader)
+
+    def _move_registration(self, parent: NodeId, old_leader: NodeId,
+                           new_leader: NodeId) -> None:
+        parent_ne = self.nes[parent]
+        if parent_ne.has_child(old_leader):
+            parent_ne.unregister_child(old_leader)
+        if new_leader in self.nes and not parent_ne.has_child(new_leader):
+            parent_ne.register_child(new_leader)
 
     def _refresh_views(self) -> None:
         h = self.hierarchy
@@ -242,8 +286,19 @@ class RingNet:
             if node_id not in h.tier_of:
                 continue  # removed node
             ring = h.ring_containing(node_id)
-            ne.update_view(h.neighbor_view(node_id),
-                           ring_size_hint=ring.size if ring is not None else 1)
+            # Pointers and the ring-size hint are structural state the
+            # replicated control plane reads (the token-loss signal
+            # chain derives its cadence from the hint), so they adopt
+            # on every shard; only arming the τ timer is behaviour.
+            was_top = ne.view.in_top_ring
+            ne.adopt_view(h.neighbor_view(node_id),
+                          ring.size if ring is not None else 1)
+            self.sim.call_owned(node_id, self._arm_tau_after_view, ne,
+                                was_top)
+
+    def _arm_tau_after_view(self, ne: NetworkEntity, was_top: bool) -> None:
+        if ne.started and ne.view.in_top_ring and not was_top:
+            ne._tau_timer.start()
 
     def _schedule_token_loss_signal(self, rounds: int = 6) -> None:
         """Deliver the membership protocol's Token-Loss message.
@@ -267,7 +322,7 @@ class RingNet:
                            if m in self.nes and self.nes[m].alive), None)
             if ne is None:
                 return
-            ne.signal_token_loss()
+            self.sim.call_owned(ne.id, ne.signal_token_loss)
             if round_no + 1 < rounds:
                 self.sim.schedule(ne.expected_token_rotation() + SIGNAL_DELAY,
                                   signal, round_no + 1)
@@ -278,7 +333,7 @@ class RingNet:
             for node_id in self._current_top_members():
                 ne = self.nes.get(node_id)
                 if ne is not None and ne.alive:
-                    ne.signal_multiple_token()
+                    self.sim.call_owned(node_id, ne.signal_multiple_token)
         self.sim.schedule(SIGNAL_DELAY, signal)
 
     def _current_top_members(self) -> List[NodeId]:

@@ -21,6 +21,7 @@ dicts, so the pool works under both fork and spawn start methods.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
@@ -104,9 +105,19 @@ def _schedule_failures(sim: Simulator, net, spec: ExperimentSpec) -> None:
     injector = FailureInjector(net.fabric)
 
     def crash_token_holder() -> None:
-        holder = next((ne for ne in net.top_ring_nes()
-                       if ne.held_token is not None), None)
-        victim = holder.id if holder is not None \
+        # "Who holds the token" is data-plane state scattered across
+        # shards; under the sharded backend this event runs right after
+        # a synchronization probe gathered the holder set, so every
+        # shard picks the same victim the sequential engine would.
+        if sim.shard is not None:
+            holding = set(sim.shard.consume_probe())
+            holder_id = next((n for n in net.hierarchy.top_ring.members
+                              if n in holding), None)
+        else:
+            holder = next((ne for ne in net.top_ring_nes()
+                           if ne.held_token is not None), None)
+            holder_id = holder.id if holder is not None else None
+        victim = holder_id if holder_id is not None \
             else net.hierarchy.top_ring.members[-1]
         net.crash_ne(victim)
 
@@ -135,7 +146,9 @@ def _schedule_failures(sim: Simulator, net, spec: ExperimentSpec) -> None:
             if not hasattr(net, "top_ring_nes"):
                 raise ValueError(
                     "crash_token_holder requires a token-passing system")
-            sim.schedule_at(ev.at_ms, crash_token_holder)
+            event = sim.schedule_at(ev.at_ms, crash_token_holder)
+            if sim.shard is not None:
+                sim.shard.register_probe(event, "token.holders")
 
 
 def build_scenario(spec: ExperimentSpec,
@@ -294,6 +307,27 @@ def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return run_point(RunPoint.from_dict(payload), check=check).to_dict()
 
 
+def resolve_jobs(jobs: int) -> int:
+    """Effective sweep worker count.
+
+    ``REPRO_SWEEP_JOBS`` (when set to a valid positive integer)
+    overrides the requested value; the result is clamped to the
+    machine's ``os.cpu_count()`` so oversubscribed requests degrade to
+    full-but-not-thrashing parallelism.  Raises ``ValueError`` for a
+    non-positive request, matching the old contract.
+    """
+    env = os.environ.get("REPRO_SWEEP_JOBS")
+    if env is not None:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SWEEP_JOBS must be an integer, got {env!r}")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return min(jobs, max(1, os.cpu_count() or 1))
+
+
 def run_sweep(
     points: Sequence[RunPoint],
     jobs: int = 1,
@@ -307,10 +341,14 @@ def run_sweep(
     called as ``progress(i, total, result)`` as finished results are
     collected, in submission order.  ``check=True`` runs every point
     with the validation monitor suite attached (see :func:`run_point`).
+
+    The ``REPRO_SWEEP_JOBS`` environment variable overrides ``jobs``
+    (handy in CI, where the caller cannot edit every invocation), and
+    the effective worker count is clamped to ``os.cpu_count()`` so an
+    oversubscribed request degrades gracefully instead of thrashing.
     """
     points = list(points)
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
+    jobs = resolve_jobs(jobs)
     if jobs == 1 or len(points) <= 1:
         results = []
         for i, point in enumerate(points):

@@ -42,6 +42,14 @@ class Fabric:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        # Per-sender loss/jitter stream caches.  Streams are keyed by the
+        # *sending* node so a sender's draw sequence depends only on its
+        # own transmission history — never on how other senders' sends
+        # interleave globally.  That makes link randomness
+        # decomposition-invariant, which the space-parallel backend
+        # (repro.shard) requires for byte-identical traces.
+        self._loss_rngs: Dict[NodeId, object] = {}
+        self._jitter_rngs: Dict[NodeId, object] = {}
 
     # ------------------------------------------------------------------
     # Registry
@@ -104,12 +112,47 @@ class Fabric:
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
+    def _loss_rng(self, src: NodeId):
+        rng = self._loss_rngs.get(src)
+        if rng is None:
+            rng = self.sim.rng(f"link.loss.{src}")
+            self._loss_rngs[src] = rng
+        return rng
+
+    def _jitter_rng(self, src: NodeId):
+        rng = self._jitter_rngs.get(src)
+        if rng is None:
+            rng = self.sim.rng(f"link.jitter.{src}")
+            self._jitter_rngs[src] = rng
+        return rng
+
     def send(self, src: NodeId, dst: NodeId, msg: Message) -> bool:
         """Simulate one transmission hop.
 
         Returns True when the message was accepted for transmission
         (which does *not* imply delivery — it may still be lost).
+
+        Under the sharded backend a send from a non-local sender is a
+        no-op (the sender's shard performs it); a send whose destination
+        lives on another shard is exported with the exact arrival time
+        and causal key the sequential engine would have used.
         """
+        sim = self.sim
+        sh = sim.shard
+        if sh is not None:
+            if sim.current_owner is None:
+                # A send from replicated control context would tick the
+                # action counter on the sender's shard only, silently
+                # desynchronizing causal keys across shards.  Every
+                # legitimate send happens inside an ownership section
+                # (the entity boundaries wrap them); fail loudly here
+                # rather than diverge quietly later.
+                raise RuntimeError(
+                    f"fabric.send({src!r} -> {dst!r}) from control-plane "
+                    f"context under sharding; wrap the sender in "
+                    f"sim.call_owned(...)")
+            if not sh.is_local(src):
+                return True
         self.messages_sent += 1
         link = self._links.get(self._key(src, dst))
         if link is None:
@@ -119,7 +162,7 @@ class Fabric:
 
         msg.src = src
         msg.dst = dst
-        msg.sent_at = self.sim.now
+        msg.sent_at = sim.now
         link.sent += 1
 
         if not link.up:
@@ -128,20 +171,23 @@ class Fabric:
             return True
         spec = link.spec
         if spec.loss_prob > 0.0:
-            if self.sim.rng("link.loss").random() < spec.loss_prob:
+            if self._loss_rng(src).random() < spec.loss_prob:
                 link.dropped += 1
                 self.messages_dropped += 1
-                self.sim.trace.emit(self.sim.now, "net.loss", src=src, dst=dst,
-                                    msg_kind=msg.kind)
+                sim.trace.emit(sim.now, "net.loss", src=src, dst=dst,
+                               msg_kind=msg.kind)
                 return True
 
         delay = spec.latency
         if spec.jitter > 0.0:
-            delay += self.sim.rng("link.jitter").random() * spec.jitter
+            delay += self._jitter_rng(src).random() * spec.jitter
         if spec.bandwidth_bps > 0.0:
             delay += msg.size_bits / spec.bandwidth_bps * 1000.0  # ms units
 
-        self.sim.schedule(delay, self._arrive, dst, msg)
+        if sh is not None and not sh.is_local(dst):
+            sh.export(sim.now + delay, delay, sim.mint_child_key(), dst, msg)
+            return True
+        sim.schedule(delay, self._arrive, dst, msg, owner=dst)
         return True
 
     def _arrive(self, dst: NodeId, msg: Message) -> None:

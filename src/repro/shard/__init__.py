@@ -1,0 +1,39 @@
+"""repro.shard — space-parallel simulation with deterministic sync.
+
+Partitions a built RingNet topology into K shards (one BR subtree
+group per shard, each MH riding with its initial AP), runs one event
+loop per worker process, and synchronizes conservatively with a
+bounded-lag window derived from the minimum cross-shard link latency
+(the lookahead).  The merge order ``(time, causal key, emission
+index)`` makes a K-shard run produce **byte-identical** canonical
+traces to the sequential engine; ``shards=1`` is the exact sequential
+engine path.
+
+Public API::
+
+    from repro.shard import partition_spec, run_sharded
+
+    plan = partition_spec(spec, 4)
+    result = run_sharded(spec, 4, record=True)
+    assert result.merged_lines == sequential_lines
+"""
+
+from repro.shard.partition import (PartitionError, PartitionPlan,
+                                   cut_edges, lookahead_of,
+                                   partition_hierarchy, partition_spec)
+from repro.shard.record import KeyedRecorder, merge_streams
+from repro.shard.runtime import ShardRunResult, record_sharded, run_sharded
+
+__all__ = [
+    "PartitionError",
+    "PartitionPlan",
+    "KeyedRecorder",
+    "ShardRunResult",
+    "cut_edges",
+    "lookahead_of",
+    "merge_streams",
+    "partition_hierarchy",
+    "partition_spec",
+    "record_sharded",
+    "run_sharded",
+]

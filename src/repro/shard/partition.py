@@ -1,0 +1,237 @@
+"""Topology partitioner: BR subtrees → shards, MHs ride with their APs.
+
+The partition unit is a **BR subtree** — one top-ring member plus every
+NE below it (AG rings, nested AG rings in deep hierarchies, APs) plus
+the MHs initially attached under it.  Subtrees are indivisible on
+purpose: all the chatty tree traffic (parent→child delivery, membership
+relay, path reservations) stays shard-local, and only top-ring traffic
+(token passes, ring forwarding between BRs) and roaming MHs cross
+shards.  Both cross on provisioned fabric links with positive latency,
+which is exactly what gives the conservative runtime its lookahead.
+
+Assignment is greedy LPT (heaviest subtree first onto the lightest
+shard), deterministic under ties, so every worker — and the coordinator
+— derives the identical plan independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.address import NodeId
+from repro.topology.hierarchy import Hierarchy
+from repro.topology.tiers import Tier
+
+
+class PartitionError(ValueError):
+    """Raised when a topology cannot be partitioned as requested."""
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A complete shard assignment for one built topology.
+
+    Attributes
+    ----------
+    n_shards:
+        Requested shard count.  Shards may be empty when the topology
+        has fewer BR subtrees than shards (they simply idle).
+    shard_of:
+        Node id → shard index, covering every NE and every initially
+        attached MH.  Entities created during the run (sources, churn
+        MHs) are adopted into the map by the runtime via
+        :meth:`repro.shard.context.ShardContext.adopt`.
+    subtree_shard:
+        BR id → shard index (the assignment's coarse form).
+    weights:
+        Node count per shard (NEs + MHs), the balance the LPT greedy
+        optimized.
+    """
+
+    n_shards: int
+    shard_of: Dict[NodeId, int] = field(default_factory=dict)
+    subtree_shard: Dict[NodeId, int] = field(default_factory=dict)
+    weights: Tuple[int, ...] = ()
+
+    def shard(self, node: NodeId) -> int:
+        """Shard index of ``node`` (KeyError for unknown nodes)."""
+        return self.shard_of[node]
+
+    def nodes_of(self, shard: int) -> List[NodeId]:
+        """All assigned nodes of one shard (sorted, for stable output)."""
+        return sorted(n for n, s in self.shard_of.items() if s == shard)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_shards": self.n_shards,
+            "shard_of": dict(self.shard_of),
+            "subtree_shard": dict(self.subtree_shard),
+            "weights": list(self.weights),
+        }
+
+
+def _subtree_nodes(h: Hierarchy, root: NodeId) -> List[NodeId]:
+    """``root`` plus every descendant NE.
+
+    Descent follows parent→child tree links *and* ring membership: only
+    a ring's leader carries the tree link to its parent, so reaching a
+    leader pulls in its whole ring, and every ring member's children in
+    turn (this is the paper's self-similarity — "if we consider each
+    logical ring as one node, the RingNet hierarchy becomes a tree").
+    The top ring itself is excluded: its members are the subtree roots.
+    """
+    out: List[NodeId] = []
+    seen = {root}
+    stack = [root]
+    top_ring_id = h.top_ring_id
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        ring_id = h.ring_of.get(node)
+        if ring_id is not None and ring_id != top_ring_id:
+            for member in h.rings[ring_id].members:
+                if member not in seen:
+                    seen.add(member)
+                    stack.append(member)
+        for child in reversed(h.children.get(node, ())):
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return out
+
+
+def partition_hierarchy(
+    h: Hierarchy,
+    n_shards: int,
+    attachments: Optional[Mapping[NodeId, NodeId]] = None,
+) -> PartitionPlan:
+    """Partition a hierarchy into ``n_shards`` BR-subtree groups.
+
+    ``attachments`` maps each initial MH to its AP; every MH is placed
+    on its AP's shard (the co-location invariant the partition tests
+    pin).  MHs present in the hierarchy but absent from ``attachments``
+    are rejected — an unplaced MH would make ownership ambiguous.
+    """
+    if n_shards < 1:
+        raise PartitionError(f"n_shards must be >= 1, got {n_shards}")
+    if h.top_ring_id is None:
+        raise PartitionError("hierarchy has no top ring to partition")
+    attachments = dict(attachments or {})
+
+    brs = list(h.top_ring.members)
+    subtrees: Dict[NodeId, List[NodeId]] = {
+        br: _subtree_nodes(h, br) for br in brs
+    }
+    # MHs weigh into their AP's subtree.
+    mhs_under: Dict[NodeId, List[NodeId]] = {br: [] for br in brs}
+    ap_to_br: Dict[NodeId, NodeId] = {}
+    for br, nodes in subtrees.items():
+        for node in nodes:
+            ap_to_br[node] = br
+    for mh, ap in attachments.items():
+        br = ap_to_br.get(ap)
+        if br is None:
+            raise PartitionError(f"MH {mh!r} attaches to unknown AP {ap!r}")
+        mhs_under[br].append(mh)
+    unplaced = [mh for mh in h.nodes_of_tier(Tier.MH) if mh not in attachments]
+    if unplaced:
+        raise PartitionError(
+            f"MHs without an initial attachment cannot be placed: {unplaced}")
+
+    # Greedy LPT: heaviest subtree first onto the lightest shard.
+    # Deterministic: ties break on BR id, then on shard index.
+    order = sorted(brs, key=lambda br: (-(len(subtrees[br])
+                                          + len(mhs_under[br])), br))
+    loads = [0] * n_shards
+    shard_of: Dict[NodeId, int] = {}
+    subtree_shard: Dict[NodeId, int] = {}
+    for br in order:
+        target = min(range(n_shards), key=lambda s: (loads[s], s))
+        weight = len(subtrees[br]) + len(mhs_under[br])
+        loads[target] += weight
+        subtree_shard[br] = target
+        for node in subtrees[br]:
+            shard_of[node] = target
+        for mh in mhs_under[br]:
+            shard_of[mh] = target
+
+    return PartitionPlan(
+        n_shards=n_shards,
+        shard_of=shard_of,
+        subtree_shard=subtree_shard,
+        weights=tuple(loads),
+    )
+
+
+def partition_spec(spec, n_shards: int) -> PartitionPlan:
+    """Build the topology a spec describes and partition it.
+
+    Only the full RingNet system is shardable — the baselines have no
+    hierarchy to cut.
+    """
+    from repro.topology.builder import (HierarchySpec, build_deep_hierarchy,
+                                        build_hierarchy,
+                                        deep_initial_attachments,
+                                        initial_attachments)
+
+    if spec.system != "ringnet":
+        raise PartitionError(
+            f"sharded execution supports the ringnet system, "
+            f"not {spec.system!r}")
+    shape = spec.hierarchy
+    if shape.depth > 1:
+        h = build_deep_hierarchy(n_br=shape.n_br, ring_size=shape.ring_size,
+                                 depth=shape.depth,
+                                 aps_per_ag=shape.aps_per_ag,
+                                 mhs_per_ap=shape.mhs_per_ap)
+        attach = deep_initial_attachments(h)
+    else:
+        hs = HierarchySpec(n_br=shape.n_br, ags_per_br=shape.ags_per_br,
+                           aps_per_ag=shape.aps_per_ag,
+                           mhs_per_ap=shape.mhs_per_ap)
+        h = build_hierarchy(hs)
+        attach = initial_attachments(hs)
+    return partition_hierarchy(h, n_shards, attach)
+
+
+# ----------------------------------------------------------------------
+# Cut analysis (computed against the *built* fabric)
+# ----------------------------------------------------------------------
+def cut_edges(fabric, plan: PartitionPlan) -> List[Tuple[NodeId, NodeId, float]]:
+    """``(a, b, latency)`` for every fabric link crossing shards.
+
+    Endpoints the plan does not cover (sources adopted later, churn
+    MHs) are resolved through the fabric's shard context when present;
+    at plan time only provisioned NE/MH links exist, which is exactly
+    the set the lookahead must bound.
+    """
+    out: List[Tuple[NodeId, NodeId, float]] = []
+    for link in fabric.links:
+        sa = plan.shard_of.get(link.a)
+        sb = plan.shard_of.get(link.b)
+        if sa is None or sb is None or sa == sb:
+            continue
+        out.append((link.a, link.b, link.spec.latency))
+    return out
+
+
+def lookahead_of(cut: Sequence[Tuple[NodeId, NodeId, float]]) -> float:
+    """Conservative window width: the minimum cut-link latency.
+
+    Every cross-shard effect rides a message over a cut link, so
+    nothing sent at time ``t`` can matter to another shard before
+    ``t + lookahead`` — the bounded-lag guarantee the window protocol
+    rests on.  A cut link with non-positive latency would break it, so
+    that is a hard error, not a warning.  An empty cut (everything on
+    one shard) has unbounded lookahead.
+    """
+    if not cut:
+        return float("inf")
+    lookahead = min(lat for _, _, lat in cut)
+    if not lookahead > 0.0:
+        offenders = [(a, b) for a, b, lat in cut if not lat > 0.0]
+        raise PartitionError(
+            f"cut links with non-positive latency break the lookahead "
+            f"bound: {offenders}")
+    return lookahead

@@ -1,0 +1,468 @@
+"""The conservative window runtime: K worker processes, one coordinator.
+
+Execution model (bulk-synchronous conservative PDES):
+
+* Every worker **builds the full scenario** from the spec — build is
+  deterministic, so replicas agree on all structural state — then masks
+  execution to the entities its shard owns (the engine gate drops
+  non-local events at schedule time, the fabric suppresses non-local
+  sends, the trace gate silences non-local emissions).
+* **Control-plane events** (topology maintenance, crash schedules,
+  mobility and churn decisions) carry ``owner=None`` and run
+  *replicated* in every shard, keeping shared structural state —
+  hierarchy, liveness flags, ownership map — identical everywhere
+  without any cross-shard state transfer.
+* **Data-plane events** run only on their owner's shard.  A message to
+  a remote node is exported with the arrival time and causal key the
+  sequential engine would have used, and imported into the destination
+  shard's heap at the next synchronization.
+* Workers advance in lockstep windows of width ``lookahead`` — the
+  minimum cut-link latency — so nothing a shard does inside a window
+  can affect another shard within the same window.  The coordinator
+  barriers every window, routes exports, and skips dead time (the next
+  window starts at the globally earliest pending event when that is
+  later than ``W + lookahead``).
+* Events registered as **probes** (churn ticks, token-holder crashes)
+  need globally-gathered inputs: every shard pauses exactly at the
+  probe's ``(time, key)``, the coordinator merges the per-shard
+  gathers, and the event then executes replicated with identical
+  inputs.
+
+``shards=1`` bypasses all of this and runs the plain sequential engine
+— the exact code path every non-sharded caller uses — so non-sharded
+behaviour cannot drift behind the parallel backend's back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.spec import ExperimentSpec
+from repro.shard.context import ShardContext
+from repro.shard.partition import (PartitionPlan, cut_edges, lookahead_of,
+                                   partition_spec)
+from repro.shard.record import KeyedRecorder, merge_streams
+
+
+@dataclass
+class ShardRunResult:
+    """Aggregate outcome of one sharded run."""
+
+    n_shards: int
+    lookahead: float
+    horizon: float
+    windows: int = 0
+    probe_syncs: int = 0
+    events: int = 0
+    shard_events: List[int] = field(default_factory=list)
+    shard_walls: List[float] = field(default_factory=list)
+    stalled_windows: List[int] = field(default_factory=list)
+    exported: int = 0
+    peak_heap: int = 0
+    compactions: int = 0
+    migrations: int = 0
+    migration_log: List[Tuple] = field(default_factory=list)
+    deliveries: int = 0
+    sent: int = 0
+    members: int = 0
+    build_s: float = 0.0
+    wall_s: float = 0.0
+    trace_counts: Dict[str, int] = field(default_factory=dict)
+    merged_lines: Optional[List[str]] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate engine throughput over the parallel section."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Machine-readable summary (bench reports embed this)."""
+        return {
+            "shards": self.n_shards,
+            "lookahead_ms": self.lookahead if self.lookahead != float("inf")
+            else None,
+            "windows": self.windows,
+            "probe_syncs": self.probe_syncs,
+            "window_stalls": sum(self.stalled_windows),
+            "window_stalls_per_shard": list(self.stalled_windows),
+            "events": self.events,
+            "shard_events": list(self.shard_events),
+            "exported": self.exported,
+            "peak_heap": self.peak_heap,
+            "compactions": self.compactions,
+            "migrations": self.migrations,
+            "deliveries": self.deliveries,
+            "wall_s": round(self.wall_s, 6),
+            "build_s": round(self.build_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _bind(ctx: ShardContext, scenario) -> None:
+    """Attach probe gatherers and the migration hook to a built scenario."""
+    net = scenario.net
+
+    def membership() -> Dict[str, bool]:
+        return {mid: mh.is_member for mid, mh in net.mobile_hosts.items()
+                if ctx.is_local(mid)}
+
+    def token_holders() -> List[str]:
+        return [ne.id for ne in net.top_ring_nes()
+                if ctx.is_local(ne.id) and ne.held_token is not None]
+
+    ctx.gatherers["churn.membership"] = membership
+    ctx.gatherers["token.holders"] = token_holders
+
+    if scenario.mobility is not None:
+        sim = scenario.sim
+
+        def migration_hook(mh, old_ap, new_ap):
+            if ctx.is_local(mh) and ctx.shard_of(new_ap) != ctx.shard_id:
+                ctx.migrations += 1
+                ctx.migration_notes.append(
+                    (sim.now, mh, old_ap, new_ap, ctx.shard_of(new_ap)))
+
+        scenario.mobility.migration_hook = migration_hook
+
+
+def _apply_imports(sim, fabric, imports) -> int:
+    for (time_, key, dst, msg) in imports:
+        sim.schedule_keyed(time_, key, dst, fabric._arrive, dst, msg)
+    return len(imports)
+
+
+def _windowed_run(sim, ctx: ShardContext, fabric, conn,
+                  horizon: float) -> Dict[str, int]:
+    """Drive the engine through coordinator-synchronized windows."""
+    lookahead = ctx.lookahead
+    W = 0.0
+    windows = stalls = probes = 0
+
+    def sync(payload: Dict[str, Any]) -> Dict[str, Any]:
+        payload["exports"] = ctx.take_outbox()
+        payload["migrations"] = ctx.take_migration_notes()
+        conn.send(payload)
+        reply = conn.recv()
+        ctx.imported += _apply_imports(sim, fabric, reply["imports"])
+        return reply
+
+    def run_probe(probe) -> None:
+        nonlocal probes
+        probe_t, probe_k, kind, _ev = probe
+        sim.run_window(probe_t, probe_k)
+        reply = sync({"t": "probe", "probe": (kind, probe_t, probe_k),
+                      "data": ctx.gather(kind)})
+        ctx.stash_probe(reply["probe_data"])
+        entry = sim.peek_entry()
+        if entry != (probe_t, probe_k):  # pragma: no cover - invariant
+            raise RuntimeError(f"probe desync: expected {(probe_t, probe_k)}, "
+                               f"heap top is {entry}")
+        sim.step()
+        ctx.pop_probe()
+        probes += 1
+
+    while True:
+        probe = ctx.peek_probe()
+        if W >= horizon:
+            # Tail: everything <= horizon is safe now (the final window
+            # exchange already routed every import that can land here).
+            if probe is not None and probe[0] <= horizon:
+                run_probe(probe)
+                continue
+            sim.run_window(horizon, inclusive=True)
+            break
+        if probe is not None and probe[0] < min(W + lookahead, horizon):
+            run_probe(probe)
+            continue
+        boundary = min(W + lookahead, horizon)
+        n = sim.run_window(boundary)
+        windows += 1
+        if n == 0:
+            stalls += 1
+        reply = sync({"t": "window", "W": W,
+                      "earliest": sim.peek_entry()})
+        W = reply["W_next"]
+
+    if sim.now < horizon:
+        sim.now = horizon
+    return {"windows": windows, "stalls": stalls, "probes": probes}
+
+
+def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
+                 shard_id: int, record: bool) -> None:
+    try:
+        from repro.experiments.runner import build_scenario
+        from repro.sim.engine import Simulator
+        from repro.sim.trace import TraceBus
+
+        spec = ExperimentSpec.from_dict(spec_dict)
+        # Unrecorded (benchmark) runs use the same counting=False trace
+        # fast path measure_spec's sequential side uses, so speedup
+        # ratios compare like with like; recorded runs need counts for
+        # the aggregate-equals-sequential cross-check.
+        sim = Simulator(seed=spec.seed,
+                        trace=TraceBus(counting=record))
+        ctx = ShardContext(shard_id, plan, sim)
+        sim.shard = ctx
+        sim.gate = ctx.is_local
+        sim.trace.gate = ctx.emission_gate
+        recorder = KeyedRecorder(sim.trace) if record else None
+
+        t0 = time.perf_counter()
+        scenario = build_scenario(spec, sim=sim)
+        build_s = time.perf_counter() - t0
+        fabric = scenario.net.fabric
+        ctx.lookahead = lookahead_of(cut_edges(fabric, plan))
+        _bind(ctx, scenario)
+
+        conn.send({"t": "ready", "build_s": build_s,
+                   "lookahead": ctx.lookahead})
+        go = conn.recv()
+        assert go["t"] == "go"
+
+        t1 = time.perf_counter()
+        scenario.start()
+        loop_stats = _windowed_run(sim, ctx, fabric, conn,
+                                   horizon=spec.duration_ms)
+        wall = time.perf_counter() - t1
+
+        net = scenario.net
+        deliveries = sum(mh.delivered_count
+                         for mid, mh in net.mobile_hosts.items()
+                         if ctx.is_local(mid))
+        members = sum(1 for mid, mh in net.mobile_hosts.items()
+                      if ctx.is_local(mid) and mh.is_member)
+        sent = sum(src.sent for sid, src in net.sources.items()
+                   if ctx.is_local(sid))
+        conn.send({
+            "t": "done",
+            "events": sim.events_processed,
+            "wall_s": wall,
+            "build_s": build_s,
+            "windows": loop_stats["windows"],
+            "stalls": loop_stats["stalls"],
+            "probes": loop_stats["probes"],
+            "exported": ctx.exported,
+            "peak_heap": sim.peak_heap,
+            "compactions": sim.compactions,
+            "migrations": ctx.migrations,
+            # Notes from the tail segment (after the last window sync)
+            # have no boundary left to ride; ship them with the result.
+            "migrations_tail": ctx.take_migration_notes(),
+            "deliveries": deliveries,
+            "members": members,
+            "sent": sent,
+            "trace_counts": dict(sim.trace.counts),
+            "entries": recorder.entries if recorder is not None else None,
+        })
+    except BaseException:
+        try:
+            conn.send({"t": "error", "tb": traceback.format_exc()})
+        except Exception:  # pragma: no cover - broken pipe on teardown
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+def _merge_probe_data(kind: str, datas: List[Any]) -> Any:
+    if kind == "churn.membership":
+        merged: Dict[str, bool] = {}
+        for d in datas:
+            merged.update(d)
+        return merged
+    if kind == "token.holders":
+        merged_list: List[str] = []
+        for d in datas:
+            merged_list.extend(d)
+        return merged_list
+    raise ValueError(f"unknown probe kind {kind!r}")
+
+
+def _sequential_result(spec: ExperimentSpec, record: bool) -> ShardRunResult:
+    """The exact sequential engine path, packaged as a 1-shard result."""
+    from repro.experiments.runner import build_scenario
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import TraceBus
+    from repro.validation.record import TraceRecorder
+
+    sim = Simulator(seed=spec.seed, trace=TraceBus(counting=record))
+    recorder = TraceRecorder(sim.trace) if record else None
+    t0 = time.perf_counter()
+    scenario = build_scenario(spec, sim=sim)
+    t1 = time.perf_counter()
+    scenario.run()
+    t2 = time.perf_counter()
+    if recorder is not None:
+        recorder.detach()
+    net = scenario.net
+    return ShardRunResult(
+        n_shards=1,
+        lookahead=float("inf"),
+        horizon=spec.duration_ms,
+        events=sim.events_processed,
+        shard_events=[sim.events_processed],
+        shard_walls=[t2 - t1],
+        stalled_windows=[0],
+        deliveries=net.total_app_deliveries(),
+        peak_heap=sim.peak_heap,
+        compactions=sim.compactions,
+        sent=scenario.fleet.total_sent,
+        members=len(net.member_hosts()),
+        build_s=t1 - t0,
+        wall_s=t2 - t1,
+        trace_counts=dict(sim.trace.counts),
+        merged_lines=list(recorder.lines) if recorder is not None else None,
+    )
+
+
+def run_sharded(spec: ExperimentSpec, shards: int,
+                record: bool = False) -> ShardRunResult:
+    """Run one spec on ``shards`` worker processes.
+
+    ``record=True`` captures every shard's keyed trace stream and
+    merges them into :attr:`ShardRunResult.merged_lines` — the stream
+    that must be byte-identical to a sequential
+    :func:`~repro.validation.record.record_spec` run.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return _sequential_result(spec, record)
+
+    plan = partition_spec(spec, shards)
+    mp = multiprocessing.get_context()
+    conns = []
+    procs = []
+    for shard_id in range(shards):
+        parent_conn, child_conn = mp.Pipe()
+        proc = mp.Process(
+            target=_worker_main,
+            args=(child_conn, spec.to_dict(), plan, shard_id, record),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(proc)
+
+    result = ShardRunResult(n_shards=shards, lookahead=0.0,
+                            horizon=spec.duration_ms)
+    entries_per_shard: List[Optional[list]] = [None] * shards
+    done = [False] * shards
+
+    def recv(i: int) -> Dict[str, Any]:
+        try:
+            msg = conns[i].recv()
+        except EOFError:
+            raise RuntimeError(f"shard {i} worker died unexpectedly")
+        if msg["t"] == "error":
+            raise RuntimeError(f"shard {i} worker failed:\n{msg['tb']}")
+        return msg
+
+    try:
+        readies = [recv(i) for i in range(shards)]
+        lookaheads = {r["lookahead"] for r in readies}
+        if len(lookaheads) != 1:  # pragma: no cover - invariant
+            raise RuntimeError(f"workers disagree on lookahead: {lookaheads}")
+        lookahead = lookaheads.pop()
+        result.lookahead = lookahead
+        result.build_s = max(r["build_s"] for r in readies)
+
+        wall_start = time.perf_counter()
+        for conn in conns:
+            conn.send({"t": "go"})
+
+        horizon = spec.duration_ms
+        W = 0.0
+        while not all(done):
+            msgs: Dict[int, Dict[str, Any]] = {}
+            for i in range(shards):
+                if not done[i]:
+                    msgs[i] = recv(i)
+            kinds = {m["t"] for m in msgs.values()}
+            if kinds == {"done"}:
+                for i, m in msgs.items():
+                    done[i] = True
+                    result.shard_events.append(m["events"])
+                    result.shard_walls.append(m["wall_s"])
+                    result.stalled_windows.append(m["stalls"])
+                    result.events += m["events"]
+                    result.exported += m["exported"]
+                    result.migration_log.extend(m["migrations_tail"])
+                    result.peak_heap = max(result.peak_heap, m["peak_heap"])
+                    result.compactions += m["compactions"]
+                    result.migrations += m["migrations"]
+                    result.deliveries += m["deliveries"]
+                    result.members += m["members"]
+                    result.sent += m["sent"]
+                    result.windows = max(result.windows, m["windows"])
+                    result.probe_syncs = max(result.probe_syncs, m["probes"])
+                    for kind, n in m["trace_counts"].items():
+                        result.trace_counts[kind] = \
+                            result.trace_counts.get(kind, 0) + n
+                    entries_per_shard[i] = m["entries"]
+                break
+            if len(kinds) != 1:  # pragma: no cover - invariant
+                raise RuntimeError(f"shards desynchronized: {kinds}")
+            round_kind = kinds.pop()
+
+            # Route exports to their destination shards; collect the
+            # arrival times for the dead-time skip below.
+            inbound: List[List[Tuple[float, int, str, Any]]] = \
+                [[] for _ in range(shards)]
+            arrivals: List[float] = []
+            for m in msgs.values():
+                for (dest, t, key, dst, payload) in m["exports"]:
+                    inbound[dest].append((t, key, dst, payload))
+                    arrivals.append(t)
+                result.migration_log.extend(m["migrations"])
+
+            if round_kind == "probe":
+                idents = {m["probe"] for m in msgs.values()}
+                if len(idents) != 1:  # pragma: no cover - invariant
+                    raise RuntimeError(f"probe desync across shards: {idents}")
+                kind = idents.pop()[0]
+                merged = _merge_probe_data(
+                    kind, [m["data"] for m in msgs.values()])
+                for i in range(shards):
+                    conns[i].send({"imports": inbound[i],
+                                   "probe_data": merged})
+            else:  # window
+                nexts = [m["earliest"][0] for m in msgs.values()
+                         if m["earliest"] is not None]
+                nexts.extend(arrivals)
+                floor = W + lookahead
+                W = min(horizon,
+                        max(floor, min(nexts) if nexts else horizon))
+                for i in range(shards):
+                    conns[i].send({"imports": inbound[i], "W_next": W})
+        result.wall_s = time.perf_counter() - wall_start
+
+        if record:
+            result.merged_lines = merge_streams(
+                [e for e in entries_per_shard if e is not None])
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+        for conn in conns:
+            conn.close()
+    return result
+
+
+def record_sharded(spec: ExperimentSpec, shards: int) -> List[str]:
+    """Canonical merged JSONL lines of a ``shards``-way run."""
+    result = run_sharded(spec, shards, record=True)
+    return result.merged_lines or []

@@ -3,9 +3,18 @@
 Design notes
 ------------
 The engine is a single-threaded priority queue of timestamped callbacks.
-Simultaneous events are ordered by a monotonically increasing sequence
-number assigned at scheduling time, which makes every run fully
-deterministic for a fixed seed and workload.
+Events are ordered by ``(time, key)`` where ``key`` is a 64-bit
+**causal key** derived from the key of the event that scheduled it and a
+per-parent child counter (splitmix64-style mixing).  Unlike the global
+scheduling counter the engine used before, causal keys are
+*decomposition-invariant*: they do not depend on how the event
+population is interleaved globally, only on each event's causal
+ancestry.  That is what lets the space-parallel backend
+(:mod:`repro.shard`) run one engine per shard and still reproduce the
+sequential engine's event order — and therefore its canonical trace —
+byte for byte.  For a fixed seed and workload every run remains fully
+deterministic; simultaneous events execute in causal-key order, which is
+arbitrary but stable across runs, processes, and shard counts.
 
 Cancellation is *lazy*: :meth:`Simulator.cancel` marks the event and the
 main loop discards cancelled entries when they surface, so cancel is O(1)
@@ -18,21 +27,32 @@ accumulates millions of dead entries.  The simulator therefore *compacts*
 — rebuilds the heap from only the live events — whenever cancelled
 entries outnumber live ones and the heap is big enough to care
 (:data:`COMPACT_MIN_SIZE`).  Compaction cannot change behaviour: event
-order is a strict total order on ``(time, seq)``, so popping from the
-rebuilt heap yields exactly the same sequence of events.
+order is a (probabilistically) strict total order on ``(time, key)``, so
+popping from the rebuilt heap yields exactly the same sequence of events.
 
-The heap itself stores ``(time, seq, Event)`` tuples rather than bare
-events: ``(time, seq)`` is unique, so comparisons never reach the event
-object and stay entirely in C — sift comparisons were the single
-hottest line of large benchmark runs when they went through
-``Event.__lt__``.
+The heap itself stores ``(time, key, Event)`` tuples rather than bare
+events: ``(time, key)`` collides only on a 64-bit hash collision at an
+identical float timestamp, so comparisons essentially never reach the
+event object and stay entirely in C.
+
+Execution contexts and ownership
+--------------------------------
+Every event carries an ``owner`` — the id of the simulated entity whose
+behaviour it implements, or ``None`` for *control-plane* events
+(topology maintenance, scenario drivers) that the sharded backend
+replicates in every shard.  Events inherit the owner of the context that
+schedules them; :meth:`Simulator.call_owned` runs a code section under a
+different owner (used at the control→entity boundary, e.g. "start this
+NE", "this MH joins").  In sequential runs ownership is inert metadata;
+a sharded worker installs :attr:`Simulator.gate` to drop events whose
+owner lives on another shard.  Counters tick even for dropped work so
+causal keys stay aligned across shards.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import TraceBus
@@ -46,37 +66,61 @@ class SimulationError(RuntimeError):
 #: costs more than letting the main loop skip its few dead entries.
 COMPACT_MIN_SIZE = 64
 
+_MASK = (1 << 64) - 1
+
+#: Sentinel: "inherit the scheduling context's owner".
+_INHERIT = object()
+
+
+def mix_key(base: int, salt: int) -> int:
+    """Derive a child causal key: FNV-combine then splitmix64 finalize.
+
+    Pure integer arithmetic, so the result is identical across
+    platforms, processes, and Python versions.  The low bit is forced to
+    1 so every derived key is nonzero — key 0 is reserved for the build
+    phase, which must sort before any event at the same timestamp.
+    """
+    z = (base * 0x100000001B3 ^ salt) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) | 1
+
 
 class Event:
     """A scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.schedule_at`; hold on to one only if you may need to
-    :meth:`Simulator.cancel` it.
+    :meth:`Simulator.cancel` it.  An event refused by the shard gate
+    comes back already cancelled (``in_heap`` False), so timers treat it
+    as unarmed without special-casing.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "in_heap")
+    __slots__ = ("time", "key", "fn", "args", "owner", "cancelled", "in_heap")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, key: int, fn: Callable[..., Any],
+                 args: tuple, owner: Optional[str] = None):
         self.time = time
-        self.seq = seq
+        self.key = key
         self.fn = fn
         self.args = args
+        self.owner = owner
         self.cancelled = False
         # Whether the event is still queued; lets Simulator.cancel keep an
         # exact live count even when cancelling an already-fired event.
         self.in_heap = True
 
     def __lt__(self, other: "Event") -> bool:
-        # Primary key: simulated time.  Tie-break: scheduling order.
+        # Primary key: simulated time.  Tie-break: causal key.
         if self.time != other.time:
             return self.time < other.time
-        return self.seq < other.seq
+        return self.key < other.key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<repro.sim.engine.Event t={self.time:.6g} #{self.seq} {name} {state}>"
+        return (f"<repro.sim.engine.Event t={self.time:.6g} "
+                f"key={self.key:#x} {name} {state}>")
 
 
 class Simulator:
@@ -95,43 +139,116 @@ class Simulator:
         Current simulated time.  Starts at ``0.0`` and only moves forward.
     trace:
         The structured trace bus; emit with ``sim.trace.emit(...)``.
+    gate:
+        Optional ``gate(owner) -> bool`` predicate installed by a shard
+        worker; owners for which it returns False have their events
+        dropped (counters still tick).  ``None`` (the default) keeps
+        every event — the exact sequential path.
+    shard:
+        The worker's shard context when running under
+        :mod:`repro.shard`, else ``None``.  Scenario drivers consult it
+        to register cross-shard synchronization probes.
     """
 
     def __init__(self, seed: int = 0, trace: Optional[TraceBus] = None):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._heap: list[Tuple[float, int, Event]] = []
         self._running = False
         self._stopped = False
         self._cancelled_in_heap: int = 0
         self.seed = seed
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceBus()
+        self.trace._sim = self
         self.events_processed: int = 0
         self.peak_heap: int = 0
         self.compactions: int = 0
+        # Execution context: current owner, causal-key base, the
+        # outermost event key (for emission keys), the owned-section
+        # nesting path, and the action/emission counters.  The build
+        # phase runs with key 0 so its records sort before any event's.
+        self._ctx_owner: Optional[str] = None
+        self._ctx_key: int = 0
+        self._ctx_root: int = 0
+        self._ctx_path: tuple = ()
+        self._ctx_actions: int = 0
+        self._ctx_emits: int = 0
+        self.gate: Optional[Callable[[Any], bool]] = None
+        self.shard = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 owner: Any = _INHERIT) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        return self.schedule_at(self.now + delay, fn, *args, owner=owner)
 
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at an absolute simulated time."""
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    owner: Any = _INHERIT) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time.
+
+        ``owner`` defaults to the scheduling context's owner; pass an
+        entity id to hand the event to a different entity (the fabric
+        does this for message arrivals) or ``None`` to mark it
+        control-plane.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        seq = next(self._counter)
-        ev = Event(time, seq, fn, args)
-        heapq.heappush(self._heap, (time, seq, ev))
+        a = self._ctx_actions
+        self._ctx_actions = a + 1
+        # Inline mix_key(self._ctx_key, a << 1): this is the hot path.
+        z = (self._ctx_key * 0x100000001B3 ^ (a << 1)) & _MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        key = (z ^ (z >> 31)) | 1
+        if owner is _INHERIT:
+            owner = self._ctx_owner
+        ev = Event(time, key, fn, args, owner)
+        gate = self.gate
+        if gate is not None and owner is not None and not gate(owner):
+            # Non-local entity: the event exists only for key alignment.
+            ev.cancelled = True
+            ev.in_heap = False
+            return ev
+        heapq.heappush(self._heap, (time, key, ev))
         if len(self._heap) > self.peak_heap:
             self.peak_heap = len(self._heap)
         return ev
+
+    def schedule_keyed(self, time: float, key: int, owner: Any,
+                       fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule with an explicit causal key (cross-shard imports).
+
+        The key was minted by the sending shard's context, so no local
+        counter ticks; the gate is bypassed — the shard runtime only
+        imports events it owns.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot import at t={time} before current time t={self.now}"
+            )
+        ev = Event(time, key, fn, args, owner)
+        heapq.heappush(self._heap, (time, key, ev))
+        if len(self._heap) > self.peak_heap:
+            self.peak_heap = len(self._heap)
+        return ev
+
+    def mint_child_key(self) -> int:
+        """Tick the action counter and return the key a
+        :meth:`schedule_at` call made right now would assign.
+
+        Used by the fabric when it exports a cross-shard arrival instead
+        of scheduling it locally: the importing shard must see exactly
+        the key the sequential engine would have used.
+        """
+        a = self._ctx_actions
+        self._ctx_actions = a + 1
+        return mix_key(self._ctx_key, a << 1)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if it already fired)."""
@@ -149,12 +266,18 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap from live events only (order-preserving)."""
-        for entry in self._heap:
+        """Rebuild the heap from live events only (order-preserving).
+
+        In place: the run loops hold a reference to the heap list, and
+        compaction can fire mid-event (via :meth:`cancel`), so the list
+        object must survive.
+        """
+        heap = self._heap
+        for entry in heap:
             if entry[2].cancelled:
                 entry[2].in_heap = False
-        self._heap = [e for e in self._heap if not e[2].cancelled]
-        heapq.heapify(self._heap)
+        heap[:] = [e for e in heap if not e[2].cancelled]
+        heapq.heapify(heap)
         self._cancelled_in_heap = 0
         self.compactions += 1
 
@@ -166,6 +289,60 @@ class Simulator:
             self._cancelled_in_heap -= 1
 
     # ------------------------------------------------------------------
+    # Ownership contexts
+    # ------------------------------------------------------------------
+    def call_owned(self, owner: Any, fn: Callable[..., Any], *args: Any):
+        """Run ``fn(*args)`` in a sub-context owned by ``owner``.
+
+        This is the control→entity boundary: scenario drivers and the
+        protocol facade wrap entity behaviour ("start this source",
+        "this MH leaves") so a shard worker can skip the section when
+        the entity lives elsewhere.  Both counters tick *before* the
+        gate check, so skipping shards stay key-aligned with the owner
+        shard; the section gets a fresh key namespace, so the amount of
+        work done inside never leaks into the enclosing context's keys.
+
+        Returns ``fn``'s result, or ``None`` when the section was
+        skipped by the gate.
+        """
+        a = self._ctx_actions
+        e = self._ctx_emits
+        self._ctx_actions = a + 1
+        self._ctx_emits = e + 1
+        gate = self.gate
+        if gate is not None and owner is not None and not gate(owner):
+            return None
+        saved = (self._ctx_owner, self._ctx_key, self._ctx_path,
+                 self._ctx_actions, self._ctx_emits)
+        self._ctx_owner = owner
+        self._ctx_key = mix_key(self._ctx_key, (a << 1) | 1)
+        self._ctx_path = self._ctx_path + (e,)
+        self._ctx_actions = 0
+        self._ctx_emits = 0
+        try:
+            return fn(*args)
+        finally:
+            (self._ctx_owner, self._ctx_key, self._ctx_path,
+             self._ctx_actions, self._ctx_emits) = saved
+
+    @property
+    def current_owner(self) -> Optional[str]:
+        """Owner of the currently executing context (None = control)."""
+        return self._ctx_owner
+
+    def emission_key(self) -> tuple:
+        """Sort key (without time) for the record being emitted now.
+
+        ``(root event key, *owned-section path, per-context emission
+        counter)`` — compared lexicographically, and identical for a
+        given record no matter how the event population is sharded.
+        Ticks the emission counter; used only by keyed trace recorders.
+        """
+        e = self._ctx_emits
+        self._ctx_emits = e + 1
+        return (self._ctx_root,) + self._ctx_path + (e,)
+
+    # ------------------------------------------------------------------
     # Random streams
     # ------------------------------------------------------------------
     def rng(self, name: str):
@@ -175,6 +352,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def _execute(self, ev: Event) -> None:
+        """Advance the clock and run one event in its own context."""
+        self.now = ev.time
+        self._ctx_owner = ev.owner
+        self._ctx_key = ev.key
+        self._ctx_root = ev.key
+        self._ctx_path = ()
+        self._ctx_actions = 0
+        self._ctx_emits = 0
+        ev.fn(*ev.args)
+        self.events_processed += 1
+
     def run(
         self,
         until: Optional[float] = None,
@@ -192,26 +381,25 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        heap = self._heap
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                ev = self._heap[0][2]
+                ev = heap[0][2]
                 if ev.cancelled:
-                    heapq.heappop(self._heap)
+                    heapq.heappop(heap)
                     ev.in_heap = False
                     self._cancelled_in_heap -= 1
                     continue
                 if until is not None and ev.time > until:
                     break
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
                 ev.in_heap = False
                 if ev.time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event heap yielded a past event")
-                self.now = ev.time
-                ev.fn(*ev.args)
+                self._execute(ev)
                 processed += 1
-                self.events_processed += 1
                 if max_events is not None and processed >= max_events:
                     break
             # Advance the clock to the requested horizon when nothing is
@@ -225,6 +413,43 @@ class Simulator:
         finally:
             self._running = False
 
+    def run_window(self, stop_time: float, stop_key: int = 0,
+                   inclusive: bool = False) -> int:
+        """Window-stepping API for the sharded backend.
+
+        Executes pending events strictly below ``(stop_time, stop_key)``
+        — or, with ``inclusive=True``, every event with
+        ``time <= stop_time`` regardless of key (the final horizon tail,
+        matching :meth:`run`'s inclusive ``until``).  Does *not* advance
+        ``now`` past the last executed event; the caller owns the final
+        clock advance.  Returns the number of events processed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        heap = self._heap
+        try:
+            while heap:
+                t, k, ev = heap[0]
+                if ev.cancelled:
+                    heapq.heappop(heap)
+                    ev.in_heap = False
+                    self._cancelled_in_heap -= 1
+                    continue
+                if inclusive:
+                    if t > stop_time:
+                        break
+                elif t > stop_time or (t == stop_time and k >= stop_key):
+                    break
+                heapq.heappop(heap)
+                ev.in_heap = False
+                self._execute(ev)
+                processed += 1
+        finally:
+            self._running = False
+        return processed
+
     def stop(self) -> None:
         """Request the main loop to stop after the current event."""
         self._stopped = True
@@ -236,15 +461,21 @@ class Simulator:
             return False
         ev = heapq.heappop(self._heap)[2]
         ev.in_heap = False
-        self.now = ev.time
-        ev.fn(*ev.args)
-        self.events_processed += 1
+        self._execute(ev)
         return True
 
     def peek(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None."""
         self._discard_cancelled_top()
         return self._heap[0][0] if self._heap else None
+
+    def peek_entry(self) -> Optional[Tuple[float, int]]:
+        """``(time, key)`` of the next live event, or None."""
+        self._discard_cancelled_top()
+        if not self._heap:
+            return None
+        t, k, _ = self._heap[0]
+        return (t, k)
 
     @property
     def pending(self) -> int:

@@ -52,6 +52,14 @@ class TraceBus:
         self.counting = counting
         self.records: List[TraceRecord] = []
         self.counts: Dict[str, int] = {}
+        #: Back-reference to the owning simulator (set by ``Simulator``);
+        #: keyed recorders use it to stamp records with causal keys.
+        self._sim = None
+        #: Optional zero-arg predicate installed by a shard worker: when
+        #: it returns False the emission is suppressed entirely (the
+        #: record belongs to an entity another shard owns).  ``None`` —
+        #: the sequential default — emits everything.
+        self.gate: Optional[Callable[[], bool]] = None
         # Emit-side dispatch caches, rebuilt on (un)subscribe: the
         # wildcard list as a tuple, and per subscribed kind the deduped
         # kind-subscribers-then-wildcards call list.  ``emit`` only ever
@@ -117,6 +125,9 @@ class TraceBus:
     # ------------------------------------------------------------------
     def emit(self, time: float, kind: str, **attrs: Any) -> None:
         """Publish a record; cheap when nobody listens."""
+        gate = self.gate
+        if gate is not None and not gate():
+            return
         if self.counting:
             counts = self.counts
             counts[kind] = counts.get(kind, 0) + 1

@@ -44,13 +44,35 @@ class ChurnDriver:
 
     # ------------------------------------------------------------------
     def _schedule(self) -> None:
-        self.sim.schedule(float(self.rng.exponential(self.mean_interval_ms)),
-                          self._tick)
+        ev = self.sim.schedule(
+            float(self.rng.exponential(self.mean_interval_ms)), self._tick)
+        shard = self.sim.shard
+        if shard is not None:
+            # A tick's decision reads global membership, which no single
+            # shard knows; register it as a synchronization probe so the
+            # runtime pauses every shard here and gathers the bits.
+            shard.register_probe(ev, "churn.membership")
+
+    def _members(self):
+        """Current members, identically in sequential and sharded runs.
+
+        Sequential: read ``is_member`` directly.  Sharded: the tick runs
+        replicated in every shard right after a membership probe, so the
+        merged bits stand in for the remote MHs' local state — same
+        values, same order (``mobile_hosts`` insertion order is
+        replicated).
+        """
+        shard = self.sim.shard
+        if shard is None:
+            return self.net.member_hosts()
+        bits = shard.consume_probe()
+        return [m for mid, m in self.net.mobile_hosts.items()
+                if bits.get(mid, False)]
 
     def _tick(self) -> None:
         if not self._running:
             return
-        members = self.net.member_hosts()
+        members = self._members()
         do_join = (len(members) <= self.min_members
                    or self.rng.random() < 0.5)
         if do_join:
@@ -62,7 +84,7 @@ class ChurnDriver:
             self.log.append((self.sim.now, "join", mh_id))
         else:
             victim = members[int(self.rng.integers(len(members)))]
-            victim.leave()
+            self.sim.call_owned(victim.guid, victim.leave)
             self.leaves += 1
             self.log.append((self.sim.now, "leave", victim.guid))
         self._schedule()

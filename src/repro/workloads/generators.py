@@ -14,9 +14,12 @@ class SourceFleet:
 
     def start(self, delay: float = 0.0, stagger: float = 0.0) -> None:
         """Start every source; ``stagger`` offsets each by i·stagger ms
-        (de-phases CBR sources so the ring isn't hit in bursts)."""
+        (de-phases CBR sources so the ring isn't hit in bursts).
+
+        Each source starts in its own ownership section so a shard
+        worker only arms the sources it hosts."""
         for i, src in enumerate(self.sources):
-            src.start(delay + i * stagger)
+            src.sim.call_owned(src.id, src.start, delay + i * stagger)
 
     def stop(self) -> None:
         """Stop every source."""

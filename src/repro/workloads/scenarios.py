@@ -39,8 +39,13 @@ class Scenario:
     duration_ms: float = 10_000.0
     stagger_ms: float = 3.0
 
-    def run(self, until: Optional[float] = None) -> None:
-        """Start everything and run to ``until`` (or the duration)."""
+    def start(self) -> None:
+        """Arm everything without running the event loop.
+
+        Split out of :meth:`run` so the sharded backend can start the
+        scenario and then drive the engine through synchronized windows
+        instead of one free-running :meth:`Simulator.run`.
+        """
         self.net.start()
         self.fleet.start(stagger=self.stagger_ms)
         if self.mobility is not None:
@@ -49,6 +54,10 @@ class Scenario:
                     self.mobility.track(mh_id, mh.ap)
         if self.churn is not None:
             self.churn.start()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Start everything and run to ``until`` (or the duration)."""
+        self.start()
         self.sim.run(until=until if until is not None else self.duration_ms)
 
 

@@ -39,6 +39,16 @@ def test_get_rung_by_name_and_unknown():
         get_rung("nope")
 
 
+def test_get_rung_accepts_long_form_aliases():
+    # `--rungs xs,small` must mean the same as `--rungs xs,s`.
+    assert get_rung("small") is get_rung("s")
+    assert get_rung("xsmall") is get_rung("xs")
+    assert get_rung("medium") is get_rung("m")
+    assert get_rung("large") is get_rung("l")
+    assert get_rung("xlarge") is get_rung("xl")
+    assert get_rung(" Small ") is get_rung("s")  # whitespace + case
+
+
 def test_node_counts_depth1_formula():
     spec = registry.get("quickstart")  # n_br=3, ags=2, aps=2, mhs=2
     counts = node_counts(spec)
@@ -79,6 +89,43 @@ def test_measured_population_agrees_with_ladder_formula(tiny_result):
 def test_measure_spec_repeat_validates():
     with pytest.raises(ValueError):
         measure_spec(registry.get("quickstart"), repeat=0)
+
+
+def test_peak_heap_recorded_without_any_compaction():
+    """A run too small to ever compact still reports its true heap
+    high-water mark — `compactions: 0, peak_heap: 0` can no longer be
+    confused with "not measured"."""
+    spec = registry.get("quickstart", **{
+        "duration_ms": 200.0, "warmup_ms": 0.0, "seed": 5,
+        "hierarchy.mhs_per_ap": 0,  # no join storm: no timer churn
+        "workload.s": 1, "workload.rate_per_sec": 5.0,
+    })
+    r = measure_spec(spec, repeat=2)
+    assert r.compactions == 0  # nothing this small triggers compaction
+    assert r.peak_heap > 0
+    d = r.to_dict()
+    assert d["peak_heap"] == r.peak_heap
+    assert d["compactions"] == 0
+    assert d["shards"] == 1
+
+
+def test_measure_spec_sharded_counters():
+    spec = registry.get("quickstart", **{"duration_ms": 400.0,
+                                         "warmup_ms": 0.0})
+    r = measure_spec(spec, shards=2)
+    assert r.shards == 2
+    assert r.events > 0
+    assert r.peak_heap > 0
+    assert r.shard_stats is not None
+    assert r.shard_stats["windows"] > 0
+    assert "window_stalls" in r.shard_stats
+    d = r.to_dict()
+    assert d["shard"]["shards"] == 2
+
+
+def test_measure_spec_sharded_rejects_check():
+    with pytest.raises(ValueError):
+        measure_spec(registry.get("quickstart"), shards=2, check=True)
 
 
 def test_measure_spec_check_attaches_monitors():

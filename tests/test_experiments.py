@@ -237,6 +237,41 @@ class TestRunner:
         assert [r.to_dict(include_timing=False) for r in serial] == \
                [r.to_dict(include_timing=False) for r in parallel]
 
+    def test_jobs_env_override_and_cpu_clamp(self, monkeypatch):
+        import os
+
+        from repro.experiments.runner import resolve_jobs
+
+        monkeypatch.delenv("REPRO_SWEEP_JOBS", raising=False)
+        cpus = max(1, os.cpu_count() or 1)
+        # Oversubscription clamps to the machine instead of thrashing.
+        assert resolve_jobs(10_000) == cpus
+        assert resolve_jobs(1) == 1
+        # The environment overrides the requested value...
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "1")
+        assert resolve_jobs(64) == 1
+        # ...and is itself clamped.
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "9999")
+        assert resolve_jobs(1) == cpus
+        # Garbage and non-positive values fail loudly.
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "lots")
+        with pytest.raises(ValueError):
+            resolve_jobs(2)
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "0")
+        with pytest.raises(ValueError):
+            resolve_jobs(2)
+
+    def test_sweep_honors_jobs_env(self, monkeypatch):
+        points = expand_grid(TINY, {"workload.rate_per_sec": [10.0, 30.0]},
+                             replications=1)
+        baseline = run_sweep(points, jobs=1)
+        # An env-forced serial run is byte-identical to an explicit one,
+        # proving the override reached the pool sizing.
+        monkeypatch.setenv("REPRO_SWEEP_JOBS", "1")
+        forced = run_sweep(points, jobs=8)
+        assert [r.to_dict(include_timing=False) for r in forced] == \
+               [r.to_dict(include_timing=False) for r in baseline]
+
     def test_unordered_system_runs(self):
         r = run_point(TINY.with_overrides({"system": "unordered"}))
         assert r.delivered > 0 and not r.order_checked

@@ -22,7 +22,10 @@ def test_lossless_delivery(sim):
     for i in range(5):
         a.chan.send("b", Ping(i))
     sim.run()
-    assert [p.n for p in b.payloads] == [0, 1, 2, 3, 4]
+    # All five arrive exactly once at t=1 (zero jitter); the channel
+    # promises exactly-once, not in-order — simultaneous arrivals land
+    # in causal-key order, so only the delivered *set* is pinned here.
+    assert sorted(p.n for p in b.payloads) == [0, 1, 2, 3, 4]
     assert a.chan.stats.acked == 5
     assert a.chan.stats.retransmitted == 0
 

@@ -68,6 +68,33 @@ def test_trace_byte_identical_to_seed(name):
         f"{div.describe()}")
 
 
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("name", registry.names())
+def test_sharded_trace_byte_identical_to_sequential(name, shards):
+    """The space-parallel backend's determinism guarantee, in full.
+
+    Re-record each scenario with K worker shards and compare the merged
+    canonical stream against the sequential golden byte for byte.  The
+    goldens equal a fresh sequential recording (asserted above), so
+    this transitively proves sharded == sequential for every registry
+    scenario — crossing the window protocol, the replicated control
+    plane, churn/token-holder synchronization probes, cross-shard
+    handoffs, and the deterministic merge.
+    """
+    from repro.shard import record_sharded
+
+    duration = DURATIONS.get(name, DEFAULT_DURATION)
+    spec = registry.get(name)
+    overrides = {"duration_ms": duration}
+    if spec.warmup_ms >= duration:
+        overrides["warmup_ms"] = duration / 2
+    lines = record_sharded(spec.with_overrides(overrides), shards)
+    div = first_divergence(golden_lines(name), lines)
+    assert div is None, (
+        f"{name} with {shards} shards diverged from the sequential "
+        f"engine at {div.describe()}")
+
+
 def test_recorded_stream_replays_through_monitor_suite():
     """The golden streams stay consumable by the offline monitor path."""
     from repro.validation.record import line_to_record
