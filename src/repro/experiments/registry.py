@@ -20,6 +20,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 from repro.experiments.spec import (ChurnSpec, ExperimentSpec, FailureEvent,
                                     HierarchyShape, MobilitySpec,
                                     WorkloadSpec)
+from repro.faults.plan import (Degrade, FaultPlan, Flap, LossBurst,
+                               Partition)
 
 
 @dataclass(frozen=True)
@@ -230,6 +232,159 @@ def _bursty_sources() -> ExperimentSpec:
                                  mhs_per_ap=2),
         workload=WorkloadSpec(s=3, rate_per_sec=30.0, pattern="poisson"),
         duration_ms=10_000.0, warmup_ms=2_000.0, seed=23,
+    )
+
+
+@register("split_brain",
+          "partition isolates the token holder's subtree, then heals")
+def _split_brain() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="split_brain",
+        description="the paper's worst backbone fault: whichever BR "
+                    "holds the OrderingToken is cut off (with its whole "
+                    "subtree) mid-stream, then the partition heals",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        # The token must survive the outage in retransmission (no
+        # maintenance event fires for a partition, so a transit give-up
+        # would orphan it): 12 retries x 25 ms rto > the 250 ms cut.
+        protocol={"max_retries": 12},
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        faults=FaultPlan(actions=[
+            Partition(at_ms=1_000.0, heal_at_ms=1_250.0,
+                      groups=[["@token_holder_subtree"], ["@rest"]]),
+        ]),
+        duration_ms=6_000.0, warmup_ms=500.0, seed=41,
+    )
+
+
+@register("asymmetric_partition",
+          "one-way partition: a BR subtree can hear but not speak")
+def _asymmetric_partition() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="asymmetric_partition",
+        description="traffic out of br:1's subtree is dropped while the "
+                    "reverse direction still flows — the classic "
+                    "one-way radio/backhaul failure",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        protocol={"max_retries": 12},
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        faults=FaultPlan(actions=[
+            Partition(at_ms=1_000.0, heal_at_ms=1_250.0,
+                      direction="a_to_b",
+                      groups=[["br:1", "ag:1.*", "ap:1.*", "mh:1.*"],
+                              ["@rest"]]),
+        ]),
+        duration_ms=6_000.0, warmup_ms=500.0, seed=43,
+    )
+
+
+@register("flapping_backbone",
+          "a top-ring link flaps up/down every 160 ms for 1.4 s")
+def _flapping_backbone() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="flapping_backbone",
+        description="periodic 80 ms outages on the br:0<->br:1 token "
+                    "path: every pass risks a retransmission, none may "
+                    "be lost",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        faults=FaultPlan(actions=[
+            Flap(at_ms=800.0, until_ms=2_200.0, link=["br:0", "br:1"],
+                 period_ms=160.0, duty=0.5),
+        ]),
+        duration_ms=6_000.0, warmup_ms=500.0, seed=47,
+    )
+
+
+@register("gilbert_elliott_access",
+          "correlated loss bursts on every access link (GE channel)")
+def _gilbert_elliott_access() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="gilbert_elliott_access",
+        description="two-state Gilbert-Elliott wireless: ~17% of each "
+                    "sender's transmissions fall in bad-state bursts of "
+                    "mean length 4 instead of i.i.d. loss",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        faults=FaultPlan(actions=[
+            LossBurst(at_ms=500.0, until_ms=2_300.0,
+                      links=[["ap:*", "mh:*"]],
+                      p_gb=0.05, p_bg=0.25, loss_good=0.0, loss_bad=0.9),
+        ]),
+        duration_ms=6_000.0, warmup_ms=500.0, seed=53,
+    )
+
+
+@register("degraded_wan",
+          "backbone ring links run 4x slower and 5% lossy for a window")
+def _degraded_wan() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="degraded_wan",
+        description="a congested WAN window: every BR<->BR link gets "
+                    "4x latency and 5% loss, stretching T_order without "
+                    "breaking it",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1),
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        faults=FaultPlan(actions=[
+            Degrade(at_ms=800.0, until_ms=2_000.0,
+                    links=[["br:*", "br:*"]],
+                    loss=0.05, latency_factor=4.0),
+        ]),
+        duration_ms=6_000.0, warmup_ms=500.0, seed=59,
+    )
+
+
+@register("partition_during_handoff_storm",
+          "an AP pair is cut off exactly while MHs sprint across it")
+def _partition_during_handoff_storm() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="partition_during_handoff_storm",
+        description="the handoff_storm corridor with a 250 ms partition "
+                    "of two APs mid-storm: registrations and smooth-"
+                    "handoff reservations must survive the outage",
+        hierarchy=HierarchyShape(n_br=2, ags_per_br=1, aps_per_ag=4,
+                                 mhs_per_ap=1),
+        protocol={"static_ap_paths": False, "smooth_handoff": True,
+                  "reservation_ttl": 5_000.0, "max_retries": 12},
+        workload=WorkloadSpec(s=1, rate_per_sec=20.0),
+        mobility=MobilitySpec(enabled=True, model="directional",
+                              mean_dwell_ms=600.0, persistence=0.95),
+        faults=FaultPlan(actions=[
+            Partition(at_ms=1_200.0, heal_at_ms=1_450.0,
+                      groups=[["ap:0.0.0", "ap:0.0.1"], ["@rest"]]),
+        ]),
+        duration_ms=8_000.0, warmup_ms=500.0, seed=61,
+    )
+
+
+@register("rolling_ap_brownout",
+          "overlapping degradation windows roll across the AP sites")
+def _rolling_ap_brownout() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="rolling_ap_brownout",
+        description="each BR's access links brown out (30% loss, 2x "
+                    "latency) in overlapping 800 ms windows — a rolling "
+                    "power event across sites",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(s=2, rate_per_sec=15.0),
+        faults=FaultPlan(actions=[
+            Degrade(at_ms=600.0, until_ms=1_400.0,
+                    links=[["ap:0.*", "mh:0.*"]],
+                    loss=0.30, latency_factor=2.0),
+            Degrade(at_ms=1_000.0, until_ms=1_800.0,
+                    links=[["ap:1.*", "mh:1.*"]],
+                    loss=0.30, latency_factor=2.0),
+            Degrade(at_ms=1_400.0, until_ms=2_200.0,
+                    links=[["ap:2.*", "mh:2.*"]],
+                    loss=0.30, latency_factor=2.0),
+        ]),
+        duration_ms=6_000.0, warmup_ms=500.0, seed=67,
     )
 
 

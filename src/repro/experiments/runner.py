@@ -27,6 +27,7 @@ from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.grid import RunPoint
+from repro.faults.driver import FaultDriver
 from repro.experiments.results import RunResult
 from repro.experiments.spec import ExperimentSpec
 from repro.baselines.single_ring import SingleRingMulticast
@@ -191,8 +192,13 @@ def build_scenario(spec: ExperimentSpec,
     if spec.failures:
         _schedule_failures(sim, net, spec)
 
+    faults = None
+    if spec.faults:
+        faults = FaultDriver(sim, net, spec.faults)
+        faults.schedule()
+
     return Scenario(sim=sim, net=net, fleet=fleet, grid=grid,
-                    mobility=mobility, churn=churn,
+                    mobility=mobility, churn=churn, faults=faults,
                     duration_ms=spec.duration_ms,
                     stagger_ms=spec.workload.stagger_ms)
 

@@ -20,6 +20,8 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.faults.plan import FaultPlan
+
 #: Systems the runner knows how to build.  ``ringnet`` is the paper's
 #: protocol; the others are the comparison baselines.
 SYSTEMS = ("ringnet", "unordered", "single_ring")
@@ -187,6 +189,7 @@ class ExperimentSpec:
     mobility: MobilitySpec = field(default_factory=MobilitySpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     failures: List[FailureEvent] = field(default_factory=list)
+    faults: FaultPlan = field(default_factory=FaultPlan)
     duration_ms: float = 10_000.0
     warmup_ms: float = 2_000.0
     seed: int = 1
@@ -223,6 +226,8 @@ class ExperimentSpec:
         if "failures" in kwargs:
             kwargs["failures"] = [FailureEvent.from_dict(f)
                                   for f in kwargs["failures"]]
+        if "faults" in kwargs:
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
         if "protocol" in kwargs:
             kwargs["protocol"] = dict(kwargs["protocol"])
         return cls(**kwargs)

@@ -1,0 +1,40 @@
+"""Composable fault injection: partitions, degradation, correlated loss.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — declarative, JSON-round-trippable
+  :class:`FaultPlan`/:class:`FaultAction` data (attached to
+  :class:`~repro.experiments.spec.ExperimentSpec` as its ``faults``
+  section);
+* :mod:`repro.faults.overlay` — the fabric-side active set consulted by
+  ``Fabric.send()`` (installed as ``fabric.fault_overlay``);
+* :mod:`repro.faults.driver` — control-plane activation/heal events,
+  replicated across shards so K-shard traces stay byte-identical.
+
+``python -m repro.faults`` renders and inspects plans.
+"""
+
+from repro.faults.gilbert import GilbertElliott
+from repro.faults.driver import FaultDriver, structural_home, subtree_nodes
+from repro.faults.overlay import FaultOverlay
+from repro.faults.plan import (DIRECTIONS, REST, TOKEN_HOLDER_SUBTREE,
+                               Degrade, FaultAction, FaultPlan, Flap,
+                               LossBurst, Partition, selector_matches)
+
+__all__ = [
+    "DIRECTIONS",
+    "REST",
+    "TOKEN_HOLDER_SUBTREE",
+    "Degrade",
+    "FaultAction",
+    "FaultDriver",
+    "FaultOverlay",
+    "FaultPlan",
+    "Flap",
+    "GilbertElliott",
+    "LossBurst",
+    "Partition",
+    "selector_matches",
+    "structural_home",
+    "subtree_nodes",
+]

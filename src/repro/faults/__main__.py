@@ -1,0 +1,125 @@
+"""Command-line entry point: ``python -m repro.faults``.
+
+Subcommands
+-----------
+* ``list`` — registry scenarios that carry a fault plan.
+* ``show NAME|FILE`` — render a scenario's (or a JSON plan/spec file's)
+  fault plan as a human timeline; ``--json`` prints the canonical JSON.
+* ``validate FILE`` — round-trip a plan (or spec) file and report
+  whether it is structurally valid.
+
+Examples
+--------
+::
+
+    python -m repro.faults list
+    python -m repro.faults show split_brain
+    python -m repro.faults show split_brain --json > plan.json
+    python -m repro.faults validate plan.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+
+
+def _plan_of(source: str) -> Optional[FaultPlan]:
+    """Resolve a registry scenario name or a JSON file into a plan.
+
+    JSON files may be a bare plan (``{"actions": [...]}``) or a full
+    experiment spec (the plan is taken from its ``faults`` section).
+    """
+    if os.path.exists(source):
+        with open(source, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if "actions" in data:
+            return FaultPlan.from_dict(data)
+        from repro.experiments.spec import ExperimentSpec
+        return ExperimentSpec.from_dict(data).faults
+    from repro.experiments import registry
+    return registry.get(source).faults
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import registry
+    rows = []
+    for name in registry.names():
+        plan = registry.entry(name).factory().faults
+        if plan:
+            span = plan.span()
+            end = "∞" if span[1] is None else f"{span[1]:g}"
+            rows.append((name, len(plan), f"[{span[0]:g}, {end}] ms"))
+    if not rows:
+        print("no registry scenario carries a fault plan")
+        return 0
+    width = max(len(r[0]) for r in rows)
+    for name, n, window in rows:
+        print(f"{name:<{width}}  {n} action(s)  {window}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    try:
+        plan = _plan_of(args.source)
+    except (KeyError, ValueError, OSError, json.JSONDecodeError) as exc:
+        msg = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 1
+    if not plan:
+        print(f"{args.source}: empty fault plan")
+        return 0
+    if args.json:
+        print(plan.to_json())
+        return 0
+    print(f"{args.source}: {len(plan)} fault action(s)")
+    for line in plan.describe():
+        print("  " + line)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        plan = _plan_of(args.file)
+    except (ValueError, KeyError, OSError, json.JSONDecodeError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    # Round-trip: dict -> plan -> dict must be a fixed point.
+    again = FaultPlan.from_dict(plan.to_dict())
+    if again.to_dict() != plan.to_dict():  # pragma: no cover - paranoia
+        print("INVALID: plan does not round-trip", file=sys.stderr)
+        return 1
+    print(f"ok: {len(plan)} action(s)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="render and inspect fault-injection plans")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="scenarios carrying fault plans")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_show = sub.add_parser("show", help="render one plan as a timeline")
+    p_show.add_argument("source", help="registry scenario name or JSON file")
+    p_show.add_argument("--json", action="store_true",
+                        help="print the canonical JSON instead")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_val = sub.add_parser("validate", help="check a plan/spec JSON file")
+    p_val.add_argument("file", help="JSON file (bare plan or full spec)")
+    p_val.set_defaults(fn=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

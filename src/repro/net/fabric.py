@@ -50,6 +50,11 @@ class Fabric:
         # (repro.shard) requires for byte-identical traces.
         self._loss_rngs: Dict[NodeId, object] = {}
         self._jitter_rngs: Dict[NodeId, object] = {}
+        #: Optional :class:`repro.faults.overlay.FaultOverlay` consulted
+        #: on every send while a fault action is active (partitions,
+        #: degradation, flapping, correlated loss).  ``None`` — the
+        #: default — keeps the send path exactly as before.
+        self.fault_overlay = None
 
     # ------------------------------------------------------------------
     # Registry
@@ -91,7 +96,8 @@ class Fabric:
 
     def disconnect(self, a: NodeId, b: NodeId) -> None:
         """Remove the link entirely (send() will then fail/auto-create)."""
-        self._links.pop(self._key(a, b), None)
+        if self._links.pop(self._key(a, b), None) is None:
+            raise KeyError(f"no link {a!r} <-> {b!r}")
 
     def link(self, a: NodeId, b: NodeId) -> Optional[Link]:
         """The link between a and b, or None."""
@@ -170,15 +176,42 @@ class Fabric:
             self.messages_dropped += 1
             return True
         spec = link.spec
-        if spec.loss_prob > 0.0:
-            if self._loss_rng(src).random() < spec.loss_prob:
+        loss_prob = spec.loss_prob
+        latency = spec.latency
+        overlay = self.fault_overlay
+        if overlay is not None and overlay.active:
+            fx = overlay.effects(src, dst)
+            if fx is not None:
+                blocked = overlay.blocked_by(fx, sim.now)
+                if blocked is not None:
+                    # Partition / flap-down: silent drop, exactly like a
+                    # down link (the reliable transport sees timeouts).
+                    overlay.note_drop(blocked)
+                    link.dropped += 1
+                    self.messages_dropped += 1
+                    return True
+                if fx.bursts:
+                    burst = overlay.burst_drop(fx, src)
+                    if burst is not None:
+                        overlay.note_drop(burst)
+                        link.dropped += 1
+                        self.messages_dropped += 1
+                        sim.trace.emit(sim.now, "net.loss", src=src,
+                                       dst=dst, msg_kind=msg.kind)
+                        return True
+                if fx.loss is not None:
+                    loss_prob = fx.loss
+                if fx.factor != 1.0:
+                    latency = latency * fx.factor
+        if loss_prob > 0.0:
+            if self._loss_rng(src).random() < loss_prob:
                 link.dropped += 1
                 self.messages_dropped += 1
                 sim.trace.emit(sim.now, "net.loss", src=src, dst=dst,
                                msg_kind=msg.kind)
                 return True
 
-        delay = spec.latency
+        delay = latency
         if spec.jitter > 0.0:
             delay += self._jitter_rng(src).random() * spec.jitter
         if spec.bandwidth_bps > 0.0:

@@ -2,9 +2,11 @@
 
 The fuzzer draws random — but fully seed-determined — experiment specs
 over the space the runner supports (hierarchy shape × workload ×
-churn/failure/mobility schedules), runs each through the complete
-monitor suite (:func:`repro.validation.suite.check_spec`), and reports
-every invariant violation with the spec that provoked it.  Because
+churn/failure/mobility schedules × bounded :mod:`repro.faults` plans:
+healing partitions, degradation windows, flapping links, loss bursts),
+runs each through the complete monitor suite
+(:func:`repro.validation.suite.check_spec`), and reports every
+invariant violation with the spec that provoked it.  Because
 specs serialize to JSON, any failing case replays exactly from the
 report alone.
 
@@ -18,6 +20,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.faults.plan import (Degrade, FaultPlan, Flap, LossBurst,
+                               Partition)
 from repro.sim.rand import derive_seed
 from repro.validation.monitors import DEFAULT_RECOVERY_WINDOW_MS
 from repro.validation.suite import CheckResult, check_spec, standard_suite
@@ -47,6 +51,58 @@ def _choice_weighted(rng: random.Random, pairs) -> str:
         if pick < acc:
             return value
     return pairs[-1][0]  # pragma: no cover - unreachable
+
+
+def random_fault_plan(rng: random.Random, *, n_br: int,
+                      duration_ms: float) -> FaultPlan:
+    """A random, bounded :class:`~repro.faults.plan.FaultPlan`.
+
+    Every action is constructed so recovery fits the campaign window:
+    partitions activate in the first third of the run and heal within
+    100–250 ms (short enough that, with the retry budget
+    :func:`random_spec` provisions, the ordering token survives the
+    outage in retransmission); degradations, flaps, and loss bursts are
+    bounded in both span and severity.
+    """
+    actions: List[Any] = []
+    for _ in range(rng.randint(1, 2)):
+        at_ms = round(duration_ms * rng.uniform(0.10, 0.35), 1)
+        roll = rng.random()
+        if roll < 0.35 and n_br >= 2:
+            b = rng.randrange(n_br)
+            direction = "both" if rng.random() < 0.7 else \
+                rng.choice(["a_to_b", "b_to_a"])
+            actions.append(Partition(
+                at_ms=at_ms,
+                heal_at_ms=at_ms + rng.randint(100, 250),
+                direction=direction,
+                groups=[[f"br:{b}", f"ag:{b}.*", f"ap:{b}.*", f"mh:{b}.*"],
+                        ["@rest"]]))
+        elif roll < 0.55:
+            actions.append(Degrade(
+                at_ms=at_ms,
+                until_ms=at_ms + rng.randint(300, 900),
+                links=[["br:*", "br:*"]] if rng.random() < 0.5
+                else [["ap:*", "mh:*"]],
+                loss=round(rng.uniform(0.05, 0.30), 2),
+                latency_factor=round(rng.uniform(1.0, 3.0), 1)))
+        elif roll < 0.75:
+            a = rng.randrange(n_br)
+            actions.append(Flap(
+                at_ms=at_ms,
+                until_ms=at_ms + rng.randint(400, 1_000),
+                link=[f"br:{a}", f"br:{(a + 1) % n_br}"],
+                period_ms=float(rng.randint(80, 200)),
+                duty=round(rng.uniform(0.5, 0.8), 2)))
+        else:
+            actions.append(LossBurst(
+                at_ms=at_ms,
+                until_ms=at_ms + rng.randint(400, 1_200),
+                links=[["ap:*", "mh:*"]],
+                p_gb=round(rng.uniform(0.02, 0.10), 3),
+                p_bg=round(rng.uniform(0.20, 0.50), 3),
+                loss_bad=round(rng.uniform(0.50, 0.90), 2)))
+    return FaultPlan(actions=actions)
 
 
 def random_spec(rng: random.Random, *, index: int, seed: int,
@@ -124,16 +180,27 @@ def random_spec(rng: random.Random, *, index: int, seed: int,
                     at_ms=at_ms, kind="crash",
                     target=f"ap:{br}.{ag}.{ap}"))
 
+    faults = FaultPlan()
+    protocol: Dict[str, Any] = {}
+    if system == "ringnet" and depth == 1 and rng.random() < 0.35:
+        faults = random_fault_plan(rng, n_br=n_br, duration_ms=duration_ms)
+        # No maintenance event fires for a network fault, so the token
+        # must ride out any outage in retransmission: widen the retry
+        # budget past the longest partition/flap-down span the generator
+        # can produce (12 x 25 ms rto > 250 ms).
+        protocol["max_retries"] = 12
+
     return ExperimentSpec(
         name=f"fuzz-{index:04d}",
         description="randomized conformance scenario",
         system=system,
         hierarchy=hierarchy,
-        protocol={},
+        protocol=protocol,
         workload=workload,
         mobility=mobility,
         churn=churn,
         failures=failures,
+        faults=faults,
         duration_ms=float(duration_ms),
         warmup_ms=0.0,
         seed=seed,

@@ -29,6 +29,12 @@ online, from :class:`~repro.sim.trace.TraceRecord` streams:
   crash the ordering token resumes rotating and application deliveries
   resume within a recovery window (for members with a live attachment
   point).
+* :class:`PartitionRecoveryMonitor` — **re-convergence after a
+  partition heals** (``fault.partition`` / ``fault.heal`` records from
+  :mod:`repro.faults`): post-heal, application delivery and token
+  rotation resume within a recovery window, every scheduled heal
+  actually happened, and memberships initiated before the heal reach
+  confirmation instead of staying wedged.
 
 All monitors are pure observers (see :mod:`repro.validation.monitor`):
 they never mutate protocol state, so checked and unchecked runs are
@@ -611,5 +617,169 @@ class QuiescenceMonitor(Monitor):
         return {
             "monitor": self.name,
             "crashes": len(self._crashes),
+            "violations": self.violation_count,
+        }
+
+
+class PartitionRecoveryMonitor(Monitor):
+    """Re-convergence after a network partition heals.
+
+    Checks three claims about every healed :mod:`repro.faults`
+    partition:
+
+    * **delivery re-converges** — if sources keep talking well past the
+      heal, somebody reachable hears them within the recovery window
+      (same liveness guards as :class:`QuiescenceMonitor`);
+    * **ordering re-converges** — if the token was rotating before the
+      partition started, ``token.hold`` records resume within the
+      window of the heal;
+    * **membership re-converges** — an MH whose join/handoff was still
+      unconfirmed when the partition healed reaches ``mh.member``
+      within the window instead of staying wedged behind lost
+      registrations.
+
+    A partition that advertised a ``heal_at`` but never emitted
+    ``fault.heal`` by the end of the run is itself a violation (the
+    fault subsystem broke its schedule).
+    """
+
+    name = "partition_recovery"
+
+    def __init__(self, trace=None,
+                 recovery_window_ms: float = DEFAULT_RECOVERY_WINDOW_MS,
+                 settle_ms: float = DEFAULT_SETTLE_MS):
+        self.recovery_window_ms = recovery_window_ms
+        self.settle_ms = settle_ms
+        #: index -> (partition time, advertised heal_at, holds before).
+        self._partitions: Dict[int, Tuple[float, Optional[float], int]] = {}
+        #: heal order -> (heal time, partition index).
+        self._heals: List[Tuple[float, int]] = []
+        self._holds = 0
+        self._first_hold_after: Dict[int, float] = {}
+        self._first_deliver_after: Dict[int, float] = {}
+        self._awaiting_hold: List[int] = []
+        self._awaiting_deliver: List[int] = []
+        self._last_send: float = -1.0
+        #: mh -> time of the last unconfirmed join/handoff (dropped on
+        #: mh.member / mh.leave).
+        self._pending_join: Dict[Any, float] = {}
+        super().__init__(trace)
+
+    def handlers(self) -> Dict[Optional[str], Subscriber]:
+        return {
+            "fault.partition": self._on_partition,
+            "fault.heal": self._on_heal,
+            "token.hold": self._on_hold,
+            "mh.deliver": self._on_deliver,
+            "source.send": self._on_send,
+            "mh.join": self._on_join,
+            "mh.member": self._on_member,
+            "mh.leave": self._on_leave,
+        }
+
+    # ------------------------------------------------------------------
+    def _on_partition(self, rec: TraceRecord) -> None:
+        self._partitions[rec["index"]] = (rec.time, rec.get("heal_at"),
+                                          self._holds)
+
+    def _on_heal(self, rec: TraceRecord) -> None:
+        slot = len(self._heals)
+        self._heals.append((rec.time, rec["index"]))
+        self._awaiting_hold.append(slot)
+        self._awaiting_deliver.append(slot)
+
+    def _on_hold(self, rec: TraceRecord) -> None:
+        self._holds += 1
+        if self._awaiting_hold:
+            for i in self._awaiting_hold:
+                self._first_hold_after[i] = rec.time
+            self._awaiting_hold.clear()
+
+    def _on_deliver(self, rec: TraceRecord) -> None:
+        if self._awaiting_deliver:
+            for i in self._awaiting_deliver:
+                self._first_deliver_after[i] = rec.time
+            self._awaiting_deliver.clear()
+        # An application delivery proves the MH's registration path
+        # works end-to-end — as good as a membership confirmation.
+        if self._pending_join:
+            self._pending_join.pop(rec["mh"], None)
+
+    def _on_send(self, rec: TraceRecord) -> None:
+        self._last_send = rec.time
+
+    def _on_join(self, rec: TraceRecord) -> None:
+        self._pending_join[rec["mh"]] = rec.time
+
+    def _on_member(self, rec: TraceRecord) -> None:
+        self._pending_join.pop(rec["mh"], None)
+
+    def _on_leave(self, rec: TraceRecord) -> None:
+        self._pending_join.pop(rec["mh"], None)
+
+    # ------------------------------------------------------------------
+    def finish(self, net: Any = None, end_time: Optional[float] = None) -> None:
+        if not self._partitions or end_time is None:
+            return
+        window = self.recovery_window_ms
+        healed = {index for _, index in self._heals}
+        for index, (t, heal_at, _) in sorted(self._partitions.items()):
+            if index in healed or heal_at is None:
+                continue
+            if end_time - heal_at > self.settle_ms:
+                self.violation(
+                    f"partition {index} (t={t:.1f}) advertised heal at "
+                    f"{heal_at:.1f} but never healed by end of run"
+                )
+        for slot, (h, index) in enumerate(self._heals):
+            if end_time - h < window:
+                continue  # run ended inside the recovery allowance
+            holds_before = self._partitions.get(index, (0.0, None, 0))[2]
+            if holds_before:
+                hold = self._first_hold_after.get(slot)
+                if hold is None or hold - h > window:
+                    self.violation(
+                        f"token did not resume within {window:.0f} ms of "
+                        f"the heal of partition {index} at t={h:.1f}"
+                    )
+            if self._last_send > h + window:
+                deliver = self._first_deliver_after.get(slot)
+                if (deliver is None or deliver - h > window) and (
+                        net is None or (
+                            QuiescenceMonitor._any_live_attached_member(net)
+                            and QuiescenceMonitor._any_live_source(net))):
+                    self.violation(
+                        f"deliveries did not resume within {window:.0f} ms "
+                        f"of the heal of partition {index} at t={h:.1f}"
+                    )
+        if self._heals:
+            last_heal = max(h for h, _ in self._heals)
+            for mh, joined_at in sorted(self._pending_join.items()):
+                if joined_at > last_heal:
+                    continue  # initiated after every heal: settle rules
+                deadline = max(joined_at, last_heal) + window
+                if end_time <= deadline:
+                    continue
+                if net is not None:
+                    # A join wedged behind a *crashed* AP is a liveness
+                    # question for QuiescenceMonitor, not partition
+                    # recovery.
+                    host = getattr(net, "mobile_hosts", {}).get(mh)
+                    ap = getattr(host, "ap", None) if host else None
+                    nes = getattr(net, "nes", {})
+                    ap_ne = nes.get(ap) if ap is not None else None
+                    if ap_ne is None or not getattr(ap_ne, "alive", True):
+                        continue
+                self.violation(
+                    f"membership did not re-converge: {mh} joined at "
+                    f"t={joined_at:.1f} and was still unconfirmed "
+                    f"{window:.0f} ms after the last heal (t={last_heal:.1f})"
+                )
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "monitor": self.name,
+            "partitions": len(self._partitions),
+            "heals": len(self._heals),
             "violations": self.violation_count,
         }

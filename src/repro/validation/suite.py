@@ -22,6 +22,7 @@ from repro.validation.monitors import (
     BoundsMonitor,
     HandoffMonitor,
     MembershipMonitor,
+    PartitionRecoveryMonitor,
     QuiescenceMonitor,
     TokenMonitor,
 )
@@ -57,6 +58,8 @@ def standard_suite(
     monitors.append(MembershipMonitor())
     monitors.append(BoundsMonitor(per_peer_limit=per_peer_limit))
     monitors.append(QuiescenceMonitor(recovery_window_ms=recovery_window_ms))
+    monitors.append(PartitionRecoveryMonitor(
+        recovery_window_ms=recovery_window_ms))
     return MonitorSuite(monitors)
 
 

@@ -36,6 +36,9 @@ class Scenario:
     grid: Optional[CellGrid] = None
     mobility: Optional[HandoffDriver] = None
     churn: Optional[ChurnDriver] = None
+    #: The scheduled :class:`~repro.faults.driver.FaultDriver` when the
+    #: spec carries a fault plan (events are armed at build time).
+    faults: Optional[object] = None
     duration_ms: float = 10_000.0
     stagger_ms: float = 3.0
 

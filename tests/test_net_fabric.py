@@ -227,3 +227,29 @@ def test_reconnect_updates_spec_and_raises_link(sim):
     link = fabric.connect("a", "b", WIRELESS)
     assert link.up is True
     assert link.spec == WIRELESS
+
+
+def test_set_link_up_unknown_pair_raises(sim):
+    fabric = Fabric(sim)
+    Recorder(fabric, "a")
+    Recorder(fabric, "b")
+    with pytest.raises(KeyError, match="'a' <-> 'x'"):
+        fabric.set_link_up("a", "x", False)
+    # A configured pair works; tearing the link down then naming a
+    # different pair still raises with the offending pair.
+    fabric.connect("a", "b", WIRED)
+    fabric.set_link_up("a", "b", False)
+    with pytest.raises(KeyError, match="'b' <-> 'c'"):
+        fabric.set_link_up("b", "c", True)
+
+
+def test_disconnect_unknown_pair_raises(sim):
+    fabric = Fabric(sim)
+    Recorder(fabric, "a")
+    Recorder(fabric, "b")
+    with pytest.raises(KeyError, match="'a' <-> 'b'"):
+        fabric.disconnect("a", "b")
+    fabric.connect("a", "b", WIRED)
+    fabric.disconnect("a", "b")  # first removal succeeds...
+    with pytest.raises(KeyError, match="'a' <-> 'b'"):
+        fabric.disconnect("a", "b")  # ...the second is an error

@@ -29,6 +29,10 @@ TRACE_DIR = os.path.join(os.path.dirname(__file__), "data", "seed_traces")
 #: Shortened recording horizons (ms).  Durations are trimmed for suite
 #: speed but always cover every scheduled failure event of the scenario
 #: (failure_drill crashes at 3000/6000, correlated_ap_failures at 5000).
+#: Every fault-plan scenario (split_brain & co.) activates all of its
+#: actions inside the default horizon — asserted by
+#: tests/test_faults_scenarios.py — so the sharded-identity runs below
+#: exercise partitions, degradation, flapping, and burst loss too.
 DURATIONS = {
     "failure_drill": 7000.0,
     "correlated_ap_failures": 6000.0,

@@ -103,3 +103,62 @@ def test_cli_fuzz_writes_report(tmp_path, capsys):
     doc = json.loads(open(out).read())
     assert doc["ok"] is True and doc["budget"] == 2
     assert "fuzz: 2 cases" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan synthesis
+# ---------------------------------------------------------------------------
+def test_generator_synthesizes_fault_plans():
+    specs = _specs(seed=42, n=80)
+    with_plans = [s for s in specs if s.faults]
+    assert with_plans, "no generated spec carried a fault plan"
+    kinds = {a.kind for s in with_plans for a in s.faults}
+    assert len(kinds) >= 2  # several action families get exercised
+    for s in with_plans:
+        # Plans only ride on the system that can absorb them, with the
+        # widened retry budget the token needs to survive an outage.
+        assert s.system == "ringnet" and s.hierarchy.depth == 1
+        assert s.protocol.get("max_retries") == 12
+
+
+def test_generated_fault_plans_are_bounded():
+    for s in _specs(seed=9, n=120, duration=2_500.0):
+        for a in s.faults:
+            assert a.at_ms <= 0.35 * s.duration_ms
+            end = a.end_ms()
+            if a.kind == "partition":
+                assert end is not None, "fuzzed partitions must heal"
+                assert end - a.at_ms <= 250.0
+            else:
+                assert end is not None and end - a.at_ms <= 1_200.0
+
+
+def test_fault_plan_specs_roundtrip_json():
+    plans = [s for s in _specs(seed=42, n=80) if s.faults]
+    for s in plans[:5]:
+        assert ExperimentSpec.from_json(s.to_json()) == s
+
+
+def test_fuzz_smoke_ten_seeded_fault_plans_are_clean():
+    """Ten generated specs *with* fault plans, full monitor suite, zero
+    violations (the PR's fault-fuzzing conformance gate)."""
+    from repro.validation.fuzz import _campaign_recovery_window
+    from repro.validation.suite import check_spec, standard_suite
+
+    duration = 2_500.0
+    rng = random.Random(20260729)
+    cases = []
+    for i in range(400):
+        spec = random_spec(rng, index=i, seed=5000 + i,
+                           duration_ms=duration)
+        if spec.faults:
+            cases.append(spec)
+        if len(cases) == 10:
+            break
+    assert len(cases) == 10, "generator starved the smoke test"
+    window = _campaign_recovery_window(duration)
+    for spec in cases:
+        suite = standard_suite(spec.system, recovery_window_ms=window)
+        result = check_spec(spec, suite=suite)
+        assert result.ok, (spec.name, spec.faults.to_dict(),
+                           result.violations[:3])
