@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from statistics import median
 from typing import List, Optional, Sequence
 
 from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
@@ -72,9 +73,25 @@ def _print_comparison(cmp, threshold: float, current_label: str,
     return 0
 
 
+def _write_obs(results: List[BenchResult],
+               args: argparse.Namespace) -> None:
+    """Write each result's OBS_* artifacts when --obs DIR was given."""
+    out_dir = getattr(args, "obs", None)
+    if not out_dir:
+        return
+    from repro.obs.session import write_artifacts
+    for r in results:
+        if r.obs_report is None:
+            continue
+        paths = write_artifacts(r.obs_report, r.obs_timeline or [],
+                                out_dir=out_dir, name=r.name)
+        print(f"wrote {paths['report']}")
+
+
 def _finish(results: List[BenchResult], kind: str, name: str,
-            args: argparse.Namespace) -> int:
-    report = bench_report(results, kind=kind, name=name)
+            args: argparse.Namespace,
+            extra: Optional[dict] = None) -> int:
+    report = bench_report(results, kind=kind, name=name, extra=extra)
     out = args.out or f"BENCH_{name}.json"
     write_report(out, report)
     print(f"wrote {out}")
@@ -104,8 +121,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = spec_for_args(args)
     shards = getattr(args, "shards", 1) or 1
     result = measure_spec(spec, repeat=args.repeat, check=args.check,
-                          shards=shards)
+                          shards=shards, obs=args.obs is not None,
+                          obs_window_ms=args.obs_window,
+                          progress=args.progress)
     _print_result(result)
+    _write_obs([result], args)
     name = spec.name if shards == 1 else f"shard_{spec.name}"
     return _finish([result], kind="run", name=name, args=args)
 
@@ -117,15 +137,55 @@ def cmd_ladder(args: argparse.Namespace) -> int:
         rungs = list(LADDER)
     shards = getattr(args, "shards", 1) or 1
     results: List[BenchResult] = []
+    overhead: dict = {}
     for rung in rungs:
         spec = rung_spec(rung)
         pops = node_counts(spec)
         print(f"[{rung.name}] nes={pops['nes']} mhs={pops['mhs']} "
               f"duration={rung.duration_ms:.0f}ms ...", flush=True)
-        result = measure_spec(spec, repeat=args.repeat, check=args.check)
+        result = measure_spec(spec, repeat=args.repeat, check=args.check,
+                              obs=args.obs is not None,
+                              obs_window_ms=args.obs_window,
+                              progress=args.progress)
         result.name = rung.name  # rung name, not the base scenario's
         results.append(result)
         _print_result(result)
+        if args.obs_overhead:
+            # Telemetry tax: off/on single-repeat pairs, median of the
+            # per-pair ratios.  One best-of-N per side is hostage to
+            # host-speed drift between the two measurements; pairing
+            # keeps each ratio tight and the median rejects the pairs a
+            # noisy neighbour landed on.  Within-pair order alternates
+            # so a monotone within-process drift (allocator growth,
+            # frequency scaling) cancels instead of always taxing the
+            # side measured second.
+            pairs = max(3, args.repeat)
+            offs, ons, fracs = [], [], []
+            for i in range(pairs):
+                def _off():
+                    return measure_spec(spec, repeat=1)
+
+                def _on():
+                    return measure_spec(spec, repeat=1, obs=True,
+                                        obs_window_ms=args.obs_window)
+                if i % 2:
+                    on, off = _on(), _off()
+                else:
+                    off, on = _off(), _on()
+                offs.append(off.events_per_sec)
+                ons.append(on.events_per_sec)
+                if off.events_per_sec > 0:
+                    fracs.append(1.0 - on.events_per_sec
+                                 / off.events_per_sec)
+            frac = median(fracs) if fracs else 0.0
+            overhead[rung.name] = {
+                "events_per_sec_off": round(median(offs), 1),
+                "events_per_sec_on": round(median(ons), 1),
+                "pairs": pairs,
+                "overhead_frac": round(frac, 4),
+            }
+            print(f"  obs overhead: {frac:+.1%} "
+                  f"(median of {pairs} off/on pairs)")
         if shards > 1:
             sharded = measure_spec(spec, repeat=args.repeat, shards=shards)
             sharded.name = f"{rung.name}@{shards}shards"
@@ -133,8 +193,10 @@ def cmd_ladder(args: argparse.Namespace) -> int:
                                if sharded.wall_s > 0 else 0.0)
             results.append(sharded)
             _print_result(sharded)
+    _write_obs(results, args)
     name = "shard_ladder" if shards > 1 else "ladder"
-    return _finish(results, kind="ladder", name=name, args=args)
+    return _finish(results, kind="ladder", name=name, args=args,
+                   extra={"obs_overhead": overhead} if overhead else None)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -159,6 +221,18 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--check", action="store_true",
                    help="also run once with the validation monitor suite "
                         "attached; exit 3 on violations")
+    p.add_argument("--obs", nargs="?", const=".", default=None,
+                   metavar="DIR",
+                   help="attach out-of-band telemetry (repro.obs) and "
+                        "write OBS_<name>.json + timeline artifacts to "
+                        "DIR (default: cwd); headline ev/s then includes "
+                        "the obs overhead")
+    p.add_argument("--obs-window", type=float, default=None, metavar="MS",
+                   help="timeline window width in simulated ms "
+                        "(default: horizon/20)")
+    p.add_argument("--progress", action="store_true",
+                   help="heartbeat lines (events done, ev/s, ETA) every "
+                        "~2 wall seconds on long runs, via the obs hook")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="report path (default BENCH_<name>.json in cwd)")
     p.add_argument("--baseline", default=None, metavar="FILE",
@@ -189,6 +263,11 @@ def make_parser() -> argparse.ArgumentParser:
     p_ladder.add_argument("--rungs", default=None, metavar="NAMES",
                           help=f"comma-separated subset of "
                                f"{','.join(rung_names())} (default: all)")
+    p_ladder.add_argument("--obs-overhead", action="store_true",
+                          help="measure every rung as alternating obs "
+                               "off/on pairs (median-of-ratios) and stamp "
+                               "the per-rung telemetry tax into the "
+                               "report's obs_overhead key")
     _add_measure_args(p_ladder)
     p_ladder.set_defaults(fn=cmd_ladder)
 

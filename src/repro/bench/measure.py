@@ -86,6 +86,11 @@ class BenchResult:
     #: Sequential-wall / sharded-wall for the same spec, filled by the
     #: ladder when both sides were measured in one invocation.
     speedup: Optional[float] = None
+    #: Out-of-band telemetry of the best repeat (``obs=True`` runs);
+    #: large, so never embedded in :meth:`to_dict` — the CLI writes
+    #: them as separate ``OBS_*`` artifacts.
+    obs_report: Optional[Dict[str, Any]] = None
+    obs_timeline: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {
@@ -132,7 +137,9 @@ def _populations(net) -> Dict[str, int]:
 
 
 def measure_spec(spec: ExperimentSpec, repeat: int = 1,
-                 check: bool = False, shards: int = 1) -> BenchResult:
+                 check: bool = False, shards: int = 1,
+                 obs: bool = False, obs_window_ms: Optional[float] = None,
+                 progress: bool = False) -> BenchResult:
     """Benchmark one spec; headline numbers are the fastest repeat.
 
     Every repeat is a complete fresh build+run (same seed, so the same
@@ -146,23 +153,40 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
     engine (replicated control events count per shard, a rounding error
     on data-plane-dominated workloads) and ``wall_s`` is the
     coordinator-observed parallel section.
+
+    ``obs=True`` attaches one :class:`~repro.obs.session.ObsSession`
+    per repeat and keeps the best repeat's report/timeline on the
+    result; the headline events/sec then *includes* the observability
+    overhead, which is exactly what the CI obs-overhead gate compares.
+    ``progress=True`` emits wall-clock heartbeats through the same
+    hook (usable with or without ``obs``).
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
     if shards > 1:
-        return _measure_sharded(spec, repeat, shards, check)
+        return _measure_sharded(spec, repeat, shards, check, obs=obs)
     from repro.experiments.runner import build_scenario  # lazy: heavy
 
+    attach = obs or progress
     best: Optional[Dict[str, Any]] = None
+    best_session = None
     walls: List[float] = []
     peak_heap = 0
     for _ in range(repeat):
         sim = Simulator(seed=spec.seed, trace=TraceBus(counting=False))
         t0 = time.perf_counter()
         scenario = build_scenario(spec, sim=sim)
+        session = None
+        if attach:
+            from repro.obs.session import ObsSession  # lazy: optional layer
+            session = ObsSession(sim, horizon_ms=spec.duration_ms,
+                                 name=spec.name, window_ms=obs_window_ms,
+                                 progress=progress)
         t1 = time.perf_counter()
         scenario.run()
         t2 = time.perf_counter()
+        if session is not None:
+            session.finish()
         wall = t2 - t1
         walls.append(wall)
         peak_heap = max(peak_heap, sim.peak_heap)
@@ -177,6 +201,7 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
                 "deliveries": scenario.net.total_app_deliveries(),
                 **_populations(scenario.net),
             }
+            best_session = session
 
     result = BenchResult(
         name=spec.name,
@@ -188,6 +213,9 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
         peak_heap=peak_heap,
         **best,
     )
+    if obs and best_session is not None:
+        result.obs_report = best_session.report()
+        result.obs_timeline = list(best_session.rows)
     if check:
         from repro.validation.suite import check_spec  # lazy: optional layer
         checked = check_spec(spec)
@@ -197,7 +225,8 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
 
 
 def _measure_sharded(spec: ExperimentSpec, repeat: int,
-                     shards: int, check: bool) -> BenchResult:
+                     shards: int, check: bool,
+                     obs: bool = False) -> BenchResult:
     from repro.bench.ladder import node_counts  # lazy: avoid import cycle
     from repro.shard.runtime import run_sharded
 
@@ -210,7 +239,7 @@ def _measure_sharded(spec: ExperimentSpec, repeat: int,
     walls: List[float] = []
     peak_heap = 0
     for _ in range(repeat):
-        res = run_sharded(spec, shards)
+        res = run_sharded(spec, shards, obs=obs)
         walls.append(res.wall_s)
         peak_heap = max(peak_heap, res.peak_heap)
         if best is None or res.events_per_sec > best.events_per_sec:
@@ -236,17 +265,21 @@ def _measure_sharded(spec: ExperimentSpec, repeat: int,
         wall_s_all=walls,
         shards=shards,
         shard_stats=best.stats_dict(),
+        obs_report=best.obs_report,
+        obs_timeline=best.obs_timeline,
     )
 
 
 def bench_report(results: Sequence[BenchResult], kind: str, name: str,
-                 calibration: Optional[float] = None) -> Dict[str, Any]:
+                 calibration: Optional[float] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble the machine-readable ``BENCH_*.json`` payload.
 
     ``calibration`` (best-of-3 :func:`calibrate` when omitted) stamps
     the host's null-engine throughput into the report and gives every
     entry an ``events_per_sec_norm`` — the machine-normalized rate the
-    baseline comparison prefers.
+    baseline comparison prefers.  ``extra`` merges additional top-level
+    keys (e.g. the ladder's ``obs_overhead`` stamp).
     """
     if calibration is None:
         calibration = max(calibrate() for _ in range(3))
@@ -257,7 +290,7 @@ def bench_report(results: Sequence[BenchResult], kind: str, name: str,
             entry["events_per_sec_norm"] = round(
                 r.events_per_sec / calibration, 6)
         entries.append(entry)
-    return {
+    report = {
         "schema": BENCH_SCHEMA,
         "kind": kind,
         "name": name,
@@ -266,6 +299,9 @@ def bench_report(results: Sequence[BenchResult], kind: str, name: str,
         "calibration_events_per_sec": round(calibration, 1),
         "results": entries,
     }
+    if extra:
+        report.update(extra)
+    return report
 
 
 def write_report(path: str, report: Dict[str, Any]) -> None:

@@ -98,13 +98,19 @@ class OrderingToken:
         self.next_global_seq += n
         return entry
 
-    def age(self) -> None:
-        """One token hop: decrement entry TTLs and prune the expired."""
+    def age(self) -> int:
+        """One token hop: decrement entry TTLs and prune the expired.
+
+        Returns the number of entries pruned on this hop.
+        """
         self.hops += 1
         for e in self.wtsnp:
             e.ttl_hops -= 1
         if self.wtsnp and self.wtsnp[0].ttl_hops <= 0:
+            before = len(self.wtsnp)
             self.wtsnp = [e for e in self.wtsnp if e.ttl_hops > 0]
+            return before - len(self.wtsnp)
+        return 0
 
     def lookup(self, ordering_node: NodeId, local_seq: int) -> Optional[WTSNPEntry]:
         """Find the entry covering (ordering_node, local_seq), if any."""

@@ -179,7 +179,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          root_seed=args.seed)
     results = run_sweep(points, jobs=args.jobs,
                         progress=_progress if not args.quiet else None,
-                        check=args.check)
+                        check=args.check, obs_dir=args.obs)
     print()
     print(format_table(_result_rows(results)))
     _write_artifacts(args, results, meta={
@@ -205,7 +205,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"jobs={args.jobs})")
     results = run_sweep(points, jobs=args.jobs,
                         progress=_progress if not args.quiet else None,
-                        check=args.check)
+                        check=args.check, obs_dir=args.obs)
     print()
     print(format_table(_aggregate_rows(aggregate(results))))
     _write_artifacts(args, results, meta={
@@ -239,6 +239,11 @@ def _add_common(p: argparse.ArgumentParser, default_jobs: int) -> None:
     p.add_argument("--check", action="store_true",
                    help="attach the repro.validation monitor suite to "
                         "every run; exit 3 on any invariant violation")
+    p.add_argument("--obs", nargs="?", const=".", default=None,
+                   metavar="DIR",
+                   help="attach out-of-band telemetry (repro.obs) to "
+                        "every run and write OBS_<run_id>.json + timeline "
+                        "artifacts to DIR (default: cwd)")
     p.add_argument("--timing", action="store_true",
                    help="include wall-clock times in the JSON artifact "
                         "(makes it non-reproducible byte-for-byte)")

@@ -225,7 +225,8 @@ def _peak_buffer(net) -> int:
 
 
 def run_point(point: Union[RunPoint, ExperimentSpec],
-              check: bool = False) -> RunResult:
+              check: bool = False,
+              obs_dir: Optional[str] = None) -> RunResult:
     """Execute one run and distill its :class:`RunResult`.
 
     Accepts either a grid :class:`RunPoint` or a bare spec (treated as a
@@ -233,6 +234,10 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
     :mod:`repro.validation` monitor suite to the same run — monitors are
     pure observers, so every metric stays byte-identical to an
     unchecked run — and fills ``RunResult.violations``.
+
+    ``obs_dir`` attaches an out-of-band :class:`~repro.obs.session.
+    ObsSession` (another pure observer — metrics stay byte-identical)
+    and writes ``OBS_<run_id>.json`` + timeline artifacts there.
     """
     if isinstance(point, ExperimentSpec):
         point = RunPoint(spec=point, params={}, seed=point.seed)
@@ -251,6 +256,11 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
         scenario_cm = nullcontext(build_scenario(spec))
 
     with scenario_cm as scenario:
+        session = None
+        if obs_dir is not None:
+            from repro.obs.session import ObsSession  # lazy: optional layer
+            session = ObsSession(scenario.sim, horizon_ms=spec.duration_ms,
+                                 name=point.run_id)
         trace = scenario.sim.trace
         if suite is not None:
             # The suite already carries a total-order checker for
@@ -270,6 +280,9 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
 
         scenario.run()
 
+        if session is not None:
+            session.finish()
+            session.write(obs_dir)
         net = scenario.net
         violations = None
         if suite is not None:
@@ -310,7 +323,9 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
 def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry: dict in, dict out (picklable under fork and spawn)."""
     check = payload.pop("check", False)
-    return run_point(RunPoint.from_dict(payload), check=check).to_dict()
+    obs_dir = payload.pop("obs_dir", None)
+    return run_point(RunPoint.from_dict(payload), check=check,
+                     obs_dir=obs_dir).to_dict()
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -339,6 +354,7 @@ def run_sweep(
     jobs: int = 1,
     progress: Optional[Callable[[int, int, RunResult], None]] = None,
     check: bool = False,
+    obs_dir: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute every point; returns results in submission order.
 
@@ -346,7 +362,8 @@ def run_sweep(
     processes.  ``progress`` (serial mode and parallel mode alike) is
     called as ``progress(i, total, result)`` as finished results are
     collected, in submission order.  ``check=True`` runs every point
-    with the validation monitor suite attached (see :func:`run_point`).
+    with the validation monitor suite attached (see :func:`run_point`);
+    ``obs_dir`` writes per-run ``OBS_*`` telemetry artifacts there.
 
     The ``REPRO_SWEEP_JOBS`` environment variable overrides ``jobs``
     (handy in CI, where the caller cannot edit every invocation), and
@@ -358,13 +375,14 @@ def run_sweep(
     if jobs == 1 or len(points) <= 1:
         results = []
         for i, point in enumerate(points):
-            result = run_point(point, check=check)
+            result = run_point(point, check=check, obs_dir=obs_dir)
             results.append(result)
             if progress is not None:
                 progress(i, len(points), result)
         return results
 
-    payloads = [dict(p.to_dict(), check=check) for p in points]
+    payloads = [dict(p.to_dict(), check=check, obs_dir=obs_dir)
+                for p in points]
     with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
         done = 0
         results_by_index: Dict[int, RunResult] = {}

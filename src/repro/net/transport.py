@@ -156,6 +156,9 @@ class ReliableChannel:
         self._in_flight_by_dst[dst] = live
         if live > self.peak_in_flight_by_dst.get(dst, 0):
             self.peak_in_flight_by_dst[dst] = live
+            obs = self.node.sim.obs
+            if obs is not None:
+                obs.gauge_max("transport.in_flight_peak", live)
         self.stats.sent += 1
         self.node.send(dst, seg)
         out.rto_event = self.node.sim.schedule(
@@ -183,6 +186,9 @@ class ReliableChannel:
         if out.retries_left <= 0:
             self._drop_outstanding(dst, seq)
             self.stats.gave_up += 1
+            obs = self.node.sim.obs
+            if obs is not None:
+                obs.inc("transport.give_up")
             self.node.sim.trace.emit(
                 self.node.now, "transport.give_up",
                 src=self.node.id, dst=dst, msg_kind=out.segment.payload.kind,
@@ -192,6 +198,9 @@ class ReliableChannel:
             return
         out.retries_left -= 1
         self.stats.retransmitted += 1
+        obs = self.node.sim.obs
+        if obs is not None:
+            obs.inc("transport.retransmitted")
         self.node.send(dst, out.segment)
         out.rto_event = self.node.sim.schedule(
             self.rto, self._on_timeout, dst, seq)

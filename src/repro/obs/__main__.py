@@ -1,0 +1,122 @@
+"""Command-line entry point: ``python -m repro.obs``.
+
+Subcommands
+-----------
+* ``summarize REPORT`` — digest one ``OBS_*.json`` run report: engine
+  totals, registry counters/gauges/histograms, trace-kind counts, the
+  profiler's heaviest cost centers, and (for sharded reports) per-shard
+  stall/barrier/export-queue lines.
+* ``top REPORT`` — just the profiler's ``top``-style table, heaviest
+  dispatch cost centers first (the compiled-kernel target list).
+* ``timeline FILE`` — tabulate a ``*_timeline.jsonl.gz`` per-window
+  timeline; ``--metric`` adds per-window counter/kind/gauge columns.
+
+Reports are produced by the ``--obs`` flag on ``python -m repro.bench``,
+``python -m repro.experiments run|sweep``, and
+``python -m repro.shard run``.
+
+Examples
+--------
+::
+
+    python -m repro.bench run quickstart --obs obs-out
+    python -m repro.obs summarize obs-out/OBS_quickstart.json
+    python -m repro.obs top obs-out/OBS_quickstart.json -n 5
+    python -m repro.obs timeline obs-out/OBS_quickstart_timeline.jsonl.gz \\
+        --metric transport.retransmitted --metric deliver
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.profiler import render_top
+from repro.obs.report import (load_report, load_timeline, render_summary,
+                              render_timeline, shard_reports)
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    print(render_summary(load_report(args.report), top=args.top))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    report = load_report(args.report)
+    prof = report.get("profiler") or {}
+    rows = prof.get("top") or []
+    if not rows:
+        # A sharded report carries one profiler per shard; merge by
+        # printing each (wall times are per-process, not comparable
+        # across shards, so no cross-shard re-ranking).
+        subs = shard_reports(report)
+        if not subs:
+            print("(report carries no profiler samples)")
+            return 1
+        for i, sub in enumerate(subs):
+            print(f"shard {i}:")
+            print(render_top((sub.get("profiler") or {}).get("top") or [],
+                             limit=args.n))
+        return 0
+    print(render_top(rows, limit=args.n))
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    rows = load_timeline(args.timeline)
+    print(render_timeline(rows, metrics=args.metric or (), tail=args.tail))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="runtime telemetry: summarize, top, timeline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="digest one OBS_*.json report")
+    p_sum.add_argument("report", help="path to an OBS_*.json run report")
+    p_sum.add_argument("--top", type=int, default=5,
+                       help="profiler rows to include (default 5)")
+    p_sum.set_defaults(fn=cmd_summarize)
+
+    p_top = sub.add_parser("top", help="dispatch cost centers, heaviest "
+                                       "first")
+    p_top.add_argument("report", help="path to an OBS_*.json run report")
+    p_top.add_argument("-n", type=int, default=10,
+                       help="rows to show (default 10)")
+    p_top.set_defaults(fn=cmd_top)
+
+    p_tl = sub.add_parser("timeline", help="tabulate a per-window timeline")
+    p_tl.add_argument("timeline", help="path to OBS_*_timeline.jsonl[.gz]")
+    p_tl.add_argument("--metric", action="append", metavar="NAME",
+                      help="add a per-window counter/kind/gauge column, "
+                           "repeatable")
+    p_tl.add_argument("--tail", type=int, default=0,
+                      help="show only the last N windows")
+    p_tl.set_defaults(fn=cmd_timeline)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed the pipe; the
+        # conventional quiet exit, not a report error.
+        sys.stderr.close()
+        return 0
+    except OSError as exc:
+        print(f"error: {exc.strerror or exc}: {exc.filename}"
+              if exc.filename else f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Stride-sampling profiler for the engine dispatch loop.
+
+The compiled-kernel roadmap item needs to know *which handlers* the
+pure-python event loop spends its wall time in.  cProfile answers that
+but distorts the loop it measures (and cannot run inside a benchmark
+whose events/sec is the deliverable); this profiler instead samples one
+event in every ``stride`` dispatched, timing just that event with
+``perf_counter`` and attributing the elapsed wall time to the event's
+handler function and its module-derived *kind*.  The engine's event
+sequence is untouched — sampling is driven purely by a countdown over
+already-ordered dispatches, never by timers or RNG — so profiled runs
+stay byte-identical to unprofiled ones.
+
+Estimates scale by the stride: with ``stride=32``, sampled wall time
+×32 approximates true wall time, and per-handler *shares* (the number
+the compiled-kernel PR actually needs: "port these five first") are
+unbiased as long as a handler fires more than a handful of times.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+#: Sample one event in every this-many dispatches.  At the xs rung one
+#: event costs ~10 µs, so stride 32 still collects thousands of samples
+#: per bench run while the sampled path (a perf_counter pair plus a few
+#: dict folds, ~1-2 µs) amortizes to well under 0.5% of dispatch cost.
+DEFAULT_STRIDE = 32
+
+
+def handler_ident(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Stable identity for a handler: unwrap bound methods.
+
+    ``sim.schedule(..., self._on_timeout, ...)`` creates a fresh bound
+    method object per call; ``__func__`` is the shared underlying
+    function, so attribution pools across instances and schedules.
+    """
+    return getattr(fn, "__func__", fn)
+
+
+def kind_of(fn: Callable[..., Any]) -> str:
+    """Coarse cost-center kind: the defining module sans ``repro.``."""
+    mod = getattr(fn, "__module__", None) or "?"
+    if mod.startswith("repro."):
+        mod = mod[len("repro."):]
+    return mod
+
+
+class DispatchProfiler:
+    """Accumulates (handler → samples, wall seconds) over one run.
+
+    Driven by :meth:`ObsSession.slow_dispatch
+    <repro.obs.session.ObsSession.slow_dispatch>` — the engine loop owns
+    the stride countdown as a local, so this class only ever sees
+    sampled events.
+    """
+
+    def __init__(self, stride: int = DEFAULT_STRIDE):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = stride
+        self.samples = 0
+        self.sampled_wall_s = 0.0
+        # handler function -> [samples, wall_seconds]
+        self._stats: Dict[Any, List[float]] = {}
+        self.started_wall = perf_counter()
+
+    # ------------------------------------------------------------------
+    def record(self, fn: Callable[..., Any], elapsed: float) -> None:
+        """Fold one sampled dispatch (``elapsed`` wall seconds)."""
+        self.samples += 1
+        self.sampled_wall_s += elapsed
+        key = getattr(fn, "__func__", fn)
+        stat = self._stats.get(key)
+        if stat is None:
+            self._stats[key] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+
+    # ------------------------------------------------------------------
+    def summary(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Cost centers, heaviest first — the compiled-kernel target list.
+
+        Each row: ``handler`` (qualified name), ``kind`` (module sans
+        ``repro.``), ``samples``, ``est_events`` (samples × stride),
+        ``wall_ms_est`` (sampled wall × stride), ``share`` of total
+        sampled wall, ``mean_us`` per dispatch.
+        """
+        total = self.sampled_wall_s
+        rows = []
+        for fn, (n, wall) in self._stats.items():
+            rows.append({
+                "handler": getattr(fn, "__qualname__", repr(fn)),
+                "kind": kind_of(fn),
+                "samples": int(n),
+                "est_events": int(n) * self.stride,
+                "wall_ms_est": round(wall * self.stride * 1e3, 3),
+                "share": round(wall / total, 4) if total > 0 else 0.0,
+                "mean_us": round(wall / n * 1e6, 2) if n else 0.0,
+            })
+        rows.sort(key=lambda r: (-r["wall_ms_est"], r["handler"]))
+        return rows[:top] if top is not None else rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stride": self.stride,
+            "samples": self.samples,
+            "sampled_wall_s": round(self.sampled_wall_s, 6),
+            "top": self.summary(),
+        }
+
+
+def render_top(rows: List[Dict[str, Any]], limit: int = 10) -> str:
+    """The ``top``-style table: heaviest dispatch cost centers first."""
+    rows = rows[:limit]
+    if not rows:
+        return "(no profiler samples)"
+    headers = ["#", "share", "wall_ms", "mean_us", "samples",
+               "kind", "handler"]
+    body = [[str(i + 1),
+             f"{r['share'] * 100:5.1f}%",
+             f"{r['wall_ms_est']:.1f}",
+             f"{r['mean_us']:.1f}",
+             str(r["samples"]),
+             r["kind"],
+             r["handler"]] for i, r in enumerate(rows)]
+    widths = [max(len(h), *(len(b[i]) for b in body))
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.rjust(w) if i < 5 else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+    lines = [fmt(headers)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(b) for b in body)
+    return "\n".join(lines)
+
+
+__all__ = ["DEFAULT_STRIDE", "DispatchProfiler", "render_top",
+           "handler_ident", "kind_of"]

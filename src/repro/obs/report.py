@@ -1,0 +1,175 @@
+"""Load and render ``OBS_*`` run reports and timelines.
+
+The writers live on :class:`~repro.obs.session.ObsSession` (sequential
+runs) and in :mod:`repro.shard.runtime` (per-shard reports rolled up by
+the coordinator); this module is the read side shared by the
+``python -m repro.obs`` CLI and tests.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.profiler import render_top
+from repro.obs.registry import merge_counter_dicts
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read one ``OBS_*.json`` run report."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict) or "schema" not in report:
+        raise ValueError(f"{path} is not an obs run report")
+    return report
+
+
+def load_timeline(path: str) -> List[Dict[str, Any]]:
+    """Read a ``*_timeline.jsonl.gz`` (or plain ``.jsonl``) timeline."""
+    opener = gzip.open if path.endswith(".gz") else open
+    rows = []
+    with opener(path, "rt", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def shard_reports(report: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-shard sub-reports of a sharded run report ([] otherwise)."""
+    return list(report.get("shards") or [])
+
+
+def _fmt_value(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:,.6g}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def _kv_lines(title: str, data: Dict[str, Any], limit: int = 0) -> List[str]:
+    lines = [f"{title}:"]
+    items = sorted(data.items(), key=lambda kv: (-_sort_key(kv[1]), kv[0]))
+    if limit:
+        items = items[:limit]
+    for k, v in items:
+        lines.append(f"  {k:40s} {_fmt_value(v)}")
+    return lines
+
+
+def _sort_key(v: Any) -> float:
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def render_summary(report: Dict[str, Any], top: int = 5) -> str:
+    """Human-readable digest of one run report."""
+    shards = shard_reports(report)
+    lines = [f"{report.get('name', '?')}: "
+             f"{report.get('events', 0):,} events over "
+             f"{report.get('windows', 0)} windows of "
+             f"{report.get('window_ms', 0):g} ms "
+             f"(horizon {report.get('horizon_ms', 0):g} ms)"]
+    engine = report.get("engine") or {}
+    if engine:
+        lines.append(
+            f"engine: {engine.get('events_processed', 0):,} processed  "
+            f"peak_heap={engine.get('peak_heap', 0):,}  "
+            f"compactions={engine.get('compactions', 0)}")
+    registry = report.get("registry") or {}
+    counters = registry.get("counters") or {}
+    if counters:
+        lines.extend(_kv_lines("counters", counters))
+    gauges = registry.get("gauges") or {}
+    if gauges:
+        lines.extend(_kv_lines(
+            "gauges (max)", {n: g.get("max") for n, g in gauges.items()}))
+    for name, h in sorted((registry.get("histograms") or {}).items()):
+        if h.get("count"):
+            lines.append(
+                f"hist {name}: n={h['count']:,} mean={h['mean']:,.3g} "
+                f"p50<={h['p50']:g} p99<={h['p99']:g} max={h['max']:,.6g}")
+    kinds = report.get("trace_counts") or {}
+    if kinds:
+        lines.extend(_kv_lines(f"trace records by kind "
+                               f"(top {min(top * 2, len(kinds))})",
+                               kinds, limit=top * 2))
+    prof = report.get("profiler") or {}
+    if prof.get("top"):
+        lines.append(f"dispatch cost centers (stride {prof.get('stride')}, "
+                     f"{prof.get('samples', 0):,} samples):")
+        lines.append(render_top(prof["top"], limit=top))
+    if shards:
+        lines.append(f"shards: {len(shards)}")
+        for i, sub in enumerate(shards):
+            win = sub.get("shard_windows") or {}
+            lines.append(
+                f"  shard {i}: {sub.get('events', 0):,} events  "
+                f"stalls={win.get('stalls', 0)} "
+                f"{_causes(win.get('stall_causes') or {})} "
+                f"barrier_wait={win.get('barrier_wait_s', 0.0):.3f}s  "
+                f"export_q_peak={win.get('export_q_peak', 0)}")
+        merged = merge_counter_dicts(
+            [(s.get("registry") or {}).get("counters") or {}
+             for s in shards])
+        if merged:
+            lines.extend(_kv_lines("counters (all shards)", merged))
+    return "\n".join(lines)
+
+
+def _causes(causes: Dict[str, int]) -> str:
+    if not causes:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(causes.items()))
+    return f"({inner})"
+
+
+def render_timeline(rows: Iterable[Dict[str, Any]],
+                    metrics: Iterable[str] = (),
+                    tail: int = 0) -> str:
+    """Tabulate timeline rows: window, span, events, heap, + metrics.
+
+    ``metrics`` names either per-window counter deltas (matched in the
+    row's ``counters`` dict) or trace kinds (matched in ``kinds``).
+    """
+    rows = list(rows)
+    if tail:
+        rows = rows[-tail:]
+    if not rows:
+        return "(empty timeline)"
+    metrics = list(metrics)
+    headers = ["w", "shard", "t0", "t1", "events", "heap"] + metrics
+    has_shard = any("shard" in r for r in rows)
+    if not has_shard:
+        headers.remove("shard")
+    body = []
+    for r in rows:
+        cells = [str(r.get("w", ""))]
+        if has_shard:
+            cells.append(str(r.get("shard", "")))
+        cells.extend([f"{r.get('t0', 0):g}", f"{r.get('t1', 0):g}",
+                      f"{r.get('events', 0):,}", f"{r.get('heap', 0):,}"])
+        for m in metrics:
+            v = (r.get("counters") or {}).get(m)
+            if v is None:
+                v = (r.get("kinds") or {}).get(m)
+            if v is None:
+                v = (r.get("gauges") or {}).get(m)
+            cells.append("" if v is None else _fmt_value(v))
+        body.append(cells)
+    widths = [max(len(h), *(len(b[i]) for b in body))
+              for i, h in enumerate(headers)]
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    out.extend("  ".join(c.rjust(w) for c, w in zip(b, widths))
+               for b in body)
+    return "\n".join(out)
+
+
+__all__ = ["load_report", "load_timeline", "shard_reports",
+           "render_summary", "render_timeline"]

@@ -66,18 +66,48 @@ def cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_shard_table(result) -> None:
+    """Per-shard observability lines: events, stalls by cause, barrier
+    wait, export-queue peak."""
+    if not result.shard_events:
+        return
+    print("  per shard:")
+    for i, events in enumerate(result.shard_events):
+        stalls = (result.stalled_windows[i]
+                  if i < len(result.stalled_windows) else 0)
+        causes = (result.stall_causes[i]
+                  if i < len(result.stall_causes) else {})
+        cause_txt = ", ".join(f"{k}={v}" for k, v in sorted(causes.items()))
+        barrier = (result.barrier_wait_s[i]
+                   if i < len(result.barrier_wait_s) else 0.0)
+        exq = (result.export_q_peaks[i]
+               if i < len(result.export_q_peaks) else 0)
+        print(f"    shard {i}: events={events:,}  stalls={stalls}"
+              f"{' (' + cause_txt + ')' if cause_txt else ''}  "
+              f"barrier_wait={barrier:.3f}s  export_q_peak={exq}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec(args)
-    result = run_sharded(spec, args.shards, record=args.record is not None)
+    result = run_sharded(spec, args.shards, record=args.record is not None,
+                         obs=args.obs is not None)
     stats = result.stats_dict()
     for key, value in stats.items():
         print(f"  {key}: {value}")
+    _print_shard_table(result)
     if args.record is not None:
         with open(args.record, "w", encoding="utf-8") as fh:
             for line in result.merged_lines or []:
                 fh.write(line + "\n")
         print(f"wrote {len(result.merged_lines or [])} records "
               f"to {args.record}")
+    if args.obs is not None and result.obs_report is not None:
+        from repro.obs.session import write_artifacts
+        name = (spec.name if result.n_shards == 1
+                else f"{spec.name}@{result.n_shards}shards")
+        paths = write_artifacts(result.obs_report, result.obs_timeline or [],
+                                out_dir=args.obs, name=name)
+        print(f"wrote {paths['report']}")
     return 0
 
 
@@ -133,6 +163,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--shards", type=int, default=2, metavar="K")
     p_run.add_argument("--record", default=None, metavar="FILE",
                        help="write the merged canonical trace (JSONL)")
+    p_run.add_argument("--obs", nargs="?", const=".", default=None,
+                       metavar="DIR",
+                       help="attach per-worker out-of-band telemetry "
+                            "(repro.obs) and write the assembled "
+                            "OBS_<name>.json + timeline to DIR "
+                            "(default: cwd)")
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser(

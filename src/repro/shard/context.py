@@ -51,6 +51,9 @@ class ShardContext:
         self.migrations = 0
         self.exported = 0
         self.imported = 0
+        #: Peak outbox depth between syncs (how bursty cross-shard
+        #: traffic gets before a window boundary drains it).
+        self.export_q_peak = 0
 
     # ------------------------------------------------------------------
     # Ownership
@@ -105,6 +108,12 @@ class ShardContext:
                 f"broken")
         self.outbox.append((self._shard_of[dst], time, key, dst, msg))
         self.exported += 1
+        depth = len(self.outbox)
+        if depth > self.export_q_peak:
+            self.export_q_peak = depth
+            obs = self.sim.obs
+            if obs is not None:
+                obs.gauge_max("shard.export_q_peak", depth)
 
     def take_outbox(self) -> List[Tuple[int, float, int, NodeId, Any]]:
         out, self.outbox = self.outbox, []

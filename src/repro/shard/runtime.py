@@ -61,6 +61,9 @@ class ShardRunResult:
     shard_events: List[int] = field(default_factory=list)
     shard_walls: List[float] = field(default_factory=list)
     stalled_windows: List[int] = field(default_factory=list)
+    stall_causes: List[Dict[str, int]] = field(default_factory=list)
+    barrier_wait_s: List[float] = field(default_factory=list)
+    export_q_peaks: List[int] = field(default_factory=list)
     exported: int = 0
     peak_heap: int = 0
     compactions: int = 0
@@ -73,6 +76,9 @@ class ShardRunResult:
     wall_s: float = 0.0
     trace_counts: Dict[str, int] = field(default_factory=dict)
     merged_lines: Optional[List[str]] = None
+    #: Assembled obs run report / timeline rows (``obs=True`` runs only).
+    obs_report: Optional[Dict[str, Any]] = None
+    obs_timeline: Optional[List[Dict[str, Any]]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -89,6 +95,9 @@ class ShardRunResult:
             "probe_syncs": self.probe_syncs,
             "window_stalls": sum(self.stalled_windows),
             "window_stalls_per_shard": list(self.stalled_windows),
+            "stall_causes": list(self.stall_causes),
+            "barrier_wait_s": [round(b, 6) for b in self.barrier_wait_s],
+            "export_queue_peak_per_shard": list(self.export_q_peaks),
             "events": self.events,
             "shard_events": list(self.shard_events),
             "exported": self.exported,
@@ -142,17 +151,26 @@ def _apply_imports(sim, fabric, imports) -> int:
 
 
 def _windowed_run(sim, ctx: ShardContext, fabric, conn,
-                  horizon: float) -> Dict[str, int]:
+                  horizon: float) -> Dict[str, Any]:
     """Drive the engine through coordinator-synchronized windows."""
     lookahead = ctx.lookahead
     W = 0.0
     windows = stalls = probes = 0
+    barrier_wait = 0.0
+    stall_causes: Dict[str, int] = {}
 
     def sync(payload: Dict[str, Any]) -> Dict[str, Any]:
+        nonlocal barrier_wait
         payload["exports"] = ctx.take_outbox()
         payload["migrations"] = ctx.take_migration_notes()
         conn.send(payload)
+        t0 = time.perf_counter()
         reply = conn.recv()
+        waited = time.perf_counter() - t0
+        barrier_wait += waited
+        obs = sim.obs
+        if obs is not None:
+            obs.observe("shard.barrier_wait_ms", waited * 1e3)
         ctx.imported += _apply_imports(sim, fabric, reply["imports"])
         return reply
 
@@ -189,17 +207,26 @@ def _windowed_run(sim, ctx: ShardContext, fabric, conn,
         windows += 1
         if n == 0:
             stalls += 1
+            # Attribute the stall: an empty heap is genuine idleness; a
+            # non-empty heap means work exists but sits beyond the
+            # lookahead boundary (partition-quality signal).
+            cause = "idle" if sim.peek_entry() is None else "lookahead"
+            stall_causes[cause] = stall_causes.get(cause, 0) + 1
+            obs = sim.obs
+            if obs is not None:
+                obs.inc("shard.stall." + cause)
         reply = sync({"t": "window", "W": W,
                       "earliest": sim.peek_entry()})
         W = reply["W_next"]
 
     if sim.now < horizon:
         sim.now = horizon
-    return {"windows": windows, "stalls": stalls, "probes": probes}
+    return {"windows": windows, "stalls": stalls, "probes": probes,
+            "stall_causes": stall_causes, "barrier_wait_s": barrier_wait}
 
 
 def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
-                 shard_id: int, record: bool) -> None:
+                 shard_id: int, record: bool, obs: bool = False) -> None:
     try:
         from repro.experiments.runner import build_scenario
         from repro.sim.engine import Simulator
@@ -230,11 +257,33 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
         go = conn.recv()
         assert go["t"] == "go"
 
+        session = None
+        if obs:
+            from repro.obs.session import ObsSession
+            session = ObsSession(sim, horizon_ms=spec.duration_ms,
+                                 name=f"shard{shard_id}")
+
         t1 = time.perf_counter()
         scenario.start()
         loop_stats = _windowed_run(sim, ctx, fabric, conn,
                                    horizon=spec.duration_ms)
         wall = time.perf_counter() - t1
+
+        obs_payload = None
+        if session is not None:
+            session.finish()
+            sub_report = session.report()
+            sub_report["shard"] = shard_id
+            sub_report["shard_windows"] = {
+                "stalls": loop_stats["stalls"],
+                "stall_causes": loop_stats["stall_causes"],
+                "barrier_wait_s": round(loop_stats["barrier_wait_s"], 6),
+                "export_q_peak": ctx.export_q_peak,
+            }
+            obs_payload = {
+                "report": sub_report,
+                "rows": [dict(r, shard=shard_id) for r in session.rows],
+            }
 
         net = scenario.net
         deliveries = sum(mh.delivered_count
@@ -251,8 +300,12 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
             "build_s": build_s,
             "windows": loop_stats["windows"],
             "stalls": loop_stats["stalls"],
+            "stall_causes": loop_stats["stall_causes"],
+            "barrier_wait_s": loop_stats["barrier_wait_s"],
             "probes": loop_stats["probes"],
             "exported": ctx.exported,
+            "export_q_peak": ctx.export_q_peak,
+            "obs": obs_payload,
             "peak_heap": sim.peak_heap,
             "compactions": sim.compactions,
             "migrations": ctx.migrations,
@@ -291,7 +344,8 @@ def _merge_probe_data(kind: str, datas: List[Any]) -> Any:
     raise ValueError(f"unknown probe kind {kind!r}")
 
 
-def _sequential_result(spec: ExperimentSpec, record: bool) -> ShardRunResult:
+def _sequential_result(spec: ExperimentSpec, record: bool,
+                       obs: bool = False) -> ShardRunResult:
     """The exact sequential engine path, packaged as a 1-shard result."""
     from repro.experiments.runner import build_scenario
     from repro.sim.engine import Simulator
@@ -302,13 +356,20 @@ def _sequential_result(spec: ExperimentSpec, record: bool) -> ShardRunResult:
     recorder = TraceRecorder(sim.trace) if record else None
     t0 = time.perf_counter()
     scenario = build_scenario(spec, sim=sim)
+    session = None
+    if obs:
+        from repro.obs.session import ObsSession
+        session = ObsSession(sim, horizon_ms=spec.duration_ms,
+                             name=spec.name)
     t1 = time.perf_counter()
     scenario.run()
     t2 = time.perf_counter()
+    if session is not None:
+        session.finish()
     if recorder is not None:
         recorder.detach()
     net = scenario.net
-    return ShardRunResult(
+    result = ShardRunResult(
         n_shards=1,
         lookahead=float("inf"),
         horizon=spec.duration_ms,
@@ -316,6 +377,9 @@ def _sequential_result(spec: ExperimentSpec, record: bool) -> ShardRunResult:
         shard_events=[sim.events_processed],
         shard_walls=[t2 - t1],
         stalled_windows=[0],
+        stall_causes=[{}],
+        barrier_wait_s=[0.0],
+        export_q_peaks=[0],
         deliveries=net.total_app_deliveries(),
         peak_heap=sim.peak_heap,
         compactions=sim.compactions,
@@ -326,21 +390,58 @@ def _sequential_result(spec: ExperimentSpec, record: bool) -> ShardRunResult:
         trace_counts=dict(sim.trace.counts),
         merged_lines=list(recorder.lines) if recorder is not None else None,
     )
+    if session is not None:
+        result.obs_report = session.report()
+        result.obs_timeline = list(session.rows)
+    return result
+
+
+def _assemble_obs(result: ShardRunResult, spec: ExperimentSpec,
+                  obs_per_shard: List[Optional[Dict[str, Any]]]) -> None:
+    """Roll per-shard obs payloads into one run report + timeline."""
+    from repro.obs.session import OBS_SCHEMA
+
+    payloads = [p for p in obs_per_shard if p is not None]
+    if not payloads:  # pragma: no cover - defensive
+        return
+    reports = [p["report"] for p in payloads]
+    result.obs_report = {
+        "schema": OBS_SCHEMA,
+        "name": spec.name,
+        "horizon_ms": spec.duration_ms,
+        "window_ms": reports[0].get("window_ms"),
+        "windows": max(r.get("windows", 0) for r in reports),
+        "events": result.events,
+        "wall_s": round(result.wall_s, 6),
+        "n_shards": result.n_shards,
+        "trace_counts": dict(result.trace_counts),
+        "shards": reports,
+    }
+    result.obs_timeline = sorted(
+        (row for p in payloads for row in p["rows"]),
+        key=lambda r: (r.get("w", 0), r.get("shard", 0)))
 
 
 def run_sharded(spec: ExperimentSpec, shards: int,
-                record: bool = False) -> ShardRunResult:
+                record: bool = False, obs: bool = False) -> ShardRunResult:
     """Run one spec on ``shards`` worker processes.
 
     ``record=True`` captures every shard's keyed trace stream and
     merges them into :attr:`ShardRunResult.merged_lines` — the stream
     that must be byte-identical to a sequential
     :func:`~repro.validation.record.record_spec` run.
+
+    ``obs=True`` attaches one out-of-band
+    :class:`~repro.obs.session.ObsSession` per worker and assembles
+    the per-shard reports into :attr:`ShardRunResult.obs_report` /
+    :attr:`ShardRunResult.obs_timeline` (rows tagged with ``shard``).
+    Because observability never touches the trace stream, ``record``
+    and ``obs`` compose freely.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards == 1:
-        return _sequential_result(spec, record)
+        return _sequential_result(spec, record, obs=obs)
 
     plan = partition_spec(spec, shards)
     mp = multiprocessing.get_context()
@@ -350,7 +451,7 @@ def run_sharded(spec: ExperimentSpec, shards: int,
         parent_conn, child_conn = mp.Pipe()
         proc = mp.Process(
             target=_worker_main,
-            args=(child_conn, spec.to_dict(), plan, shard_id, record),
+            args=(child_conn, spec.to_dict(), plan, shard_id, record, obs),
             daemon=True,
         )
         proc.start()
@@ -361,6 +462,7 @@ def run_sharded(spec: ExperimentSpec, shards: int,
     result = ShardRunResult(n_shards=shards, lookahead=0.0,
                             horizon=spec.duration_ms)
     entries_per_shard: List[Optional[list]] = [None] * shards
+    obs_per_shard: List[Optional[Dict[str, Any]]] = [None] * shards
     done = [False] * shards
 
     def recv(i: int) -> Dict[str, Any]:
@@ -399,6 +501,9 @@ def run_sharded(spec: ExperimentSpec, shards: int,
                     result.shard_events.append(m["events"])
                     result.shard_walls.append(m["wall_s"])
                     result.stalled_windows.append(m["stalls"])
+                    result.stall_causes.append(m["stall_causes"])
+                    result.barrier_wait_s.append(m["barrier_wait_s"])
+                    result.export_q_peaks.append(m["export_q_peak"])
                     result.events += m["events"]
                     result.exported += m["exported"]
                     result.migration_log.extend(m["migrations_tail"])
@@ -414,6 +519,7 @@ def run_sharded(spec: ExperimentSpec, shards: int,
                         result.trace_counts[kind] = \
                             result.trace_counts.get(kind, 0) + n
                     entries_per_shard[i] = m["entries"]
+                    obs_per_shard[i] = m["obs"]
                 break
             if len(kinds) != 1:  # pragma: no cover - invariant
                 raise RuntimeError(f"shards desynchronized: {kinds}")
@@ -454,6 +560,8 @@ def run_sharded(spec: ExperimentSpec, shards: int,
         if record:
             result.merged_lines = merge_streams(
                 [e for e in entries_per_shard if e is not None])
+        if obs:
+            _assemble_obs(result, spec, obs_per_shard)
     finally:
         for proc in procs:
             if proc.is_alive():

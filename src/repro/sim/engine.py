@@ -144,6 +144,19 @@ class Simulator:
         worker; owners for which it returns False have their events
         dropped (counters still tick).  ``None`` (the default) keeps
         every event — the exact sequential path.
+    obs:
+        The attached :class:`~repro.obs.registry.MetricsRegistry`, or
+        ``None`` (the default).  Instrumented protocol code null-checks
+        this before recording anything, so a run without observability
+        executes zero registry callbacks.
+    obs_hook:
+        The attached :class:`~repro.obs.session.ObsSession`, or
+        ``None``.  While set, the run loops route each dispatch through
+        ``obs_hook.dispatch(self, ev)`` — which executes the event via
+        :meth:`_execute` and observes it (event counting, window
+        folding, stride-sampled wall timing).  Observation is strictly
+        out-of-band: the hook never schedules, emits, or draws
+        randomness, so the event sequence is bit-identical either way.
     shard:
         The worker's shard context when running under
         :mod:`repro.shard`, else ``None``.  Scenario drivers consult it
@@ -175,6 +188,8 @@ class Simulator:
         self._ctx_emits: int = 0
         self.gate: Optional[Callable[[Any], bool]] = None
         self.shard = None
+        self.obs = None
+        self.obs_hook = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -280,6 +295,9 @@ class Simulator:
         heapq.heapify(heap)
         self._cancelled_in_heap = 0
         self.compactions += 1
+        obs = self.obs
+        if obs is not None:
+            obs.inc("engine.compactions")
 
     def _discard_cancelled_top(self) -> None:
         """Pop cancelled entries off the top of the heap."""
@@ -382,6 +400,13 @@ class Simulator:
         self._stopped = False
         processed = 0
         heap = self._heap
+        # Observability is kept off the common path: the loop holds the
+        # sampling countdown as a local and only calls into the hook on
+        # a sampled dispatch — with no hook the loop is byte-for-byte
+        # the pre-obs loop, and with one the fast path adds a single
+        # int decrement and truth test.
+        hook = self.obs_hook
+        hk_count = hook._countdown if hook is not None else 0
         try:
             while heap:
                 if self._stopped:
@@ -398,7 +423,14 @@ class Simulator:
                 ev.in_heap = False
                 if ev.time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event heap yielded a past event")
-                self._execute(ev)
+                if hook is None:
+                    self._execute(ev)
+                else:
+                    hk_count -= 1
+                    if hk_count:
+                        self._execute(ev)
+                    else:
+                        hk_count = hook.slow_dispatch(self, ev)
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
@@ -411,6 +443,8 @@ class Simulator:
                 if nxt is None or nxt > until:
                     self.now = until
         finally:
+            if hook is not None:
+                hook._countdown = hk_count
             self._running = False
 
     def run_window(self, stop_time: float, stop_key: int = 0,
@@ -429,6 +463,9 @@ class Simulator:
         self._running = True
         processed = 0
         heap = self._heap
+        # Same inline observability protocol as :meth:`run`.
+        hook = self.obs_hook
+        hk_count = hook._countdown if hook is not None else 0
         try:
             while heap:
                 t, k, ev = heap[0]
@@ -444,9 +481,18 @@ class Simulator:
                     break
                 heapq.heappop(heap)
                 ev.in_heap = False
-                self._execute(ev)
+                if hook is None:
+                    self._execute(ev)
+                else:
+                    hk_count -= 1
+                    if hk_count:
+                        self._execute(ev)
+                    else:
+                        hk_count = hook.slow_dispatch(self, ev)
                 processed += 1
         finally:
+            if hook is not None:
+                hook._countdown = hk_count
             self._running = False
         return processed
 

@@ -1,0 +1,115 @@
+"""CLI smoke tests: ``python -m repro.obs`` and the ``--obs`` flags of
+the bench / experiments / shard entry points, exercised in-process."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.experiments import registry
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.runner import build_scenario
+from repro.obs.__main__ import main as obs_main
+from repro.obs.session import ObsSession
+from repro.shard.__main__ import main as shard_main
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    """One small observed run, written to tmp: (report_path, timeline)."""
+    spec = registry.get("quickstart", duration_ms=1200.0, warmup_ms=0.0)
+    sim = Simulator(seed=spec.seed)
+    scenario = build_scenario(spec, sim=sim)
+    session = ObsSession(sim, horizon_ms=spec.duration_ms, name="clismoke")
+    scenario.run()
+    session.finish()
+    paths = session.write(out_dir=str(tmp_path))
+    return paths
+
+
+# ----------------------------------------------------------------------
+# python -m repro.obs
+# ----------------------------------------------------------------------
+def test_obs_summarize(artifacts, capsys):
+    assert obs_main(["summarize", artifacts["report"]]) == 0
+    out = capsys.readouterr().out
+    assert "clismoke" in out
+    assert "token.holds" in out
+
+
+def test_obs_top(artifacts, capsys):
+    assert obs_main(["top", artifacts["report"]]) == 0
+    out = capsys.readouterr().out
+    assert "Fabric._arrive" in out
+    assert "share" in out
+
+
+def test_obs_timeline(artifacts, capsys):
+    assert obs_main(["timeline", artifacts["timeline"]]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    # One line per window plus the header block.
+    report = json.load(open(artifacts["report"], encoding="utf-8"))
+    assert len(out.strip().splitlines()) >= report["windows"]
+
+
+def test_obs_missing_file_exits_2(tmp_path, capsys):
+    missing = os.path.join(str(tmp_path), "OBS_nope.json")
+    assert obs_main(["summarize", missing]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --obs flags of the other CLIs
+# ----------------------------------------------------------------------
+def test_bench_run_obs(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_quickstart.json")
+    rc = bench_main(["run", "quickstart", "--duration", "800",
+                     "--obs", str(tmp_path), "--out", out])
+    assert rc == 0
+    assert os.path.exists(out)
+    obs_files = glob.glob(str(tmp_path / "OBS_quickstart.json"))
+    assert obs_files, "bench --obs wrote no OBS report"
+    report = json.load(open(obs_files[0], encoding="utf-8"))
+    assert report["events"] > 0
+    assert report["registry"]["counters"]["token.holds"] > 0
+
+
+def test_experiments_run_obs(tmp_path):
+    cwd = os.getcwd()
+    os.chdir(str(tmp_path))
+    try:
+        rc = experiments_main(["run", "quickstart", "--duration", "800",
+                               "--quiet", "--obs", str(tmp_path)])
+    finally:
+        os.chdir(cwd)
+    assert rc == 0
+    obs_files = glob.glob(str(tmp_path / "OBS_quickstart*p0r0.json"))
+    assert obs_files, "experiments --obs wrote no OBS report"
+
+
+def test_shard_run_obs(tmp_path, capsys):
+    rc = shard_main(["run", "quickstart", "--shards", "2",
+                     "--duration", "1200", "--obs", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per shard:" in out
+    assert "export_q_peak" in out
+    obs_files = glob.glob(str(tmp_path / "OBS_quickstart@2shards.json"))
+    assert obs_files, "shard --obs wrote no OBS report"
+    report = json.load(open(obs_files[0], encoding="utf-8"))
+    assert report["n_shards"] == 2
+    # The sharded report renders through the same CLI.
+    assert obs_main(["summarize", obs_files[0]]) == 0
+    assert obs_main(["top", obs_files[0]]) == 0
+
+
+def test_bench_progress_flag(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_p.json")
+    rc = bench_main(["run", "quickstart", "--duration", "600",
+                     "--progress", "--out", out])
+    assert rc == 0
+    assert os.path.exists(out)

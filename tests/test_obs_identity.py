@@ -1,0 +1,153 @@
+"""Out-of-band guarantees of repro.obs.
+
+Two properties hold the observability subsystem to its contract:
+
+1. **Zero-callback when disabled** — a run without an attached
+   :class:`~repro.obs.session.ObsSession` executes not one registry
+   entry point (every instrumented call site null-checks ``sim.obs``
+   first), so observability costs nothing when off.
+2. **Trace identity when enabled** — attaching a session must not move
+   a single simulated event: the canonical JSONL stream of an observed
+   run is byte-identical to the unobserved stream, sequentially and on
+   the space-parallel backend at 2 and 4 shards.
+"""
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.runner import build_scenario
+from repro.obs import registry as obs_registry
+from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.session import ObsSession
+from repro.shard.runtime import run_sharded
+from repro.sim.engine import Simulator
+from repro.validation.record import (TraceRecorder, first_divergence,
+                                     record_spec)
+
+#: Scenario × horizon matrix for the identity sweep.  Horizons are
+#: short for suite speed; identity is compared between two recordings
+#: of the *same* spec, so truncation cannot mask a divergence.
+SCENARIOS = {
+    "quickstart": 1500.0,
+    "churn_heavy": 1500.0,
+    "degraded_wan": 1500.0,
+}
+
+
+def spec_of(name: str):
+    spec = registry.get(name)
+    overrides = {"duration_ms": SCENARIOS[name]}
+    if spec.warmup_ms >= SCENARIOS[name]:
+        overrides["warmup_ms"] = 0.0
+    return spec.with_overrides(overrides)
+
+
+_base_cache = {}
+
+
+def base_lines(name: str):
+    if name not in _base_cache:
+        _base_cache[name] = record_spec(spec_of(name)).lines
+    return _base_cache[name]
+
+
+# ----------------------------------------------------------------------
+# Property 1: disabled runs execute zero registry callbacks
+# ----------------------------------------------------------------------
+def test_disabled_run_executes_zero_registry_callbacks(monkeypatch):
+    calls = []
+
+    def spy(method_name, orig):
+        def wrapper(self, *a, **kw):
+            calls.append(method_name)
+            return orig(self, *a, **kw)
+        return wrapper
+
+    for cls in (MetricsRegistry, Counter, Gauge, Histogram):
+        for attr in ("inc", "set_gauge", "gauge_max", "observe",
+                     "counter", "gauge", "hist", "set", "update_max"):
+            orig = cls.__dict__.get(attr)
+            if orig is not None:
+                monkeypatch.setattr(cls, attr,
+                                    spy(f"{cls.__name__}.{attr}", orig))
+
+    spec = spec_of("quickstart")
+    sim = Simulator(seed=spec.seed)
+    scenario = build_scenario(spec, sim=sim)
+    scenario.run()
+    assert sim.events_processed > 0
+    assert calls == [], f"registry callbacks on a disabled run: {calls[:5]}"
+
+
+def test_enabled_run_executes_registry_callbacks(monkeypatch):
+    """The spy harness itself is live: an attached session must count."""
+    calls = []
+    orig = MetricsRegistry.inc
+
+    def spy(self, *a, **kw):
+        calls.append("inc")
+        return orig(self, *a, **kw)
+
+    monkeypatch.setattr(MetricsRegistry, "inc", spy)
+    spec = spec_of("quickstart")
+    sim = Simulator(seed=spec.seed)
+    scenario = build_scenario(spec, sim=sim)
+    session = ObsSession(sim, horizon_ms=spec.duration_ms)
+    scenario.run()
+    session.finish()
+    assert calls, "no registry callbacks despite an attached session"
+
+
+def test_obs_module_never_emits_or_schedules():
+    """Static guard: obs code never calls onto the trace bus or the
+    event heap (AST-level, so docstrings don't false-positive)."""
+    import ast
+    import inspect
+    import repro.obs.profiler
+    import repro.obs.session
+    forbidden = {"emit", "schedule", "schedule_at", "timer"}
+    for mod in (obs_registry, repro.obs.profiler, repro.obs.session):
+        tree = ast.parse(inspect.getsource(mod))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                assert node.func.attr not in forbidden, \
+                    f"{mod.__name__}:{node.lineno} calls .{node.func.attr}()"
+
+
+# ----------------------------------------------------------------------
+# Property 2: enabled runs are trace-identical, sequential and sharded
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_sequential_identity_obs_on_vs_off(name):
+    spec = spec_of(name)
+    sim = Simulator(seed=spec.seed)
+    rec = TraceRecorder(sim.trace)
+    scenario = build_scenario(spec, sim=sim)
+    session = ObsSession(sim, horizon_ms=spec.duration_ms, name=name)
+    scenario.run()
+    session.finish()
+    div = first_divergence(base_lines(name), rec.lines)
+    assert div is None, f"{name}: obs-enabled run diverged at " \
+                        f"{div.describe()}"
+    assert session.report()["events"] > 0
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_sharded_identity_obs_on_vs_off(name, shards):
+    spec = spec_of(name)
+    result = run_sharded(spec, shards, record=True, obs=True)
+    div = first_divergence(base_lines(name), result.merged_lines or [])
+    assert div is None, f"{name}@{shards}: obs-enabled sharded run " \
+                        f"diverged at {div.describe()}"
+    report = result.obs_report
+    assert report is not None
+    assert report["n_shards"] == shards
+    assert len(report["shards"]) == shards
+    # Per-shard event totals roll up to the run total.
+    assert sum(s["events"] for s in report["shards"]) == report["events"]
+    # Every shard sub-report carries the window-stall observability.
+    for sub in report["shards"]:
+        assert "shard_windows" in sub
+        assert "stalls" in sub["shard_windows"]
