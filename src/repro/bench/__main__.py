@@ -31,17 +31,21 @@ import sys
 from statistics import median
 from typing import List, Optional, Sequence
 
-from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
-from repro.bench.ladder import (LADDER, get_rung, node_counts, rung_names,
-                                rung_spec)
+from repro.bench.compare import (DEFAULT_MEM_THRESHOLD, DEFAULT_THRESHOLD,
+                                 compare_reports)
+from repro.bench.ladder import (DEFAULT_RUNGS, get_rung, node_counts,
+                                rung_names, rung_spec)
 from repro.bench.measure import (BenchResult, bench_report, measure_spec,
                                  write_report)
 
 
 def _print_result(r: BenchResult) -> None:
-    line = (f"{r.name:12s} nodes={r.nodes:5d} events={r.events:9d} "
+    line = (f"{r.name:12s} nodes={r.nodes:7d} events={r.events:9d} "
             f"wall={r.wall_s:7.3f}s  {r.events_per_sec:12,.0f} ev/s  "
-            f"peak_heap={r.peak_heap}")
+            f"peak_heap={r.peak_heap} "
+            f"peak_rss={r.peak_rss / (1 << 20):.0f}MiB")
+    if r.trace_path is not None:
+        line += f"  streamed={r.trace_records} records"
     if r.shard_stats is not None:
         line += (f"  windows={r.shard_stats['windows']} "
                  f"stalls={r.shard_stats['window_stalls']}")
@@ -73,6 +77,16 @@ def _print_comparison(cmp, threshold: float, current_label: str,
     return 0
 
 
+def _stream_path(args: argparse.Namespace, name: str) -> Optional[str]:
+    """Resolve --stream-trace DIR into DIR/<name>.jsonl.gz (or None)."""
+    out_dir = getattr(args, "stream_trace", None)
+    if not out_dir:
+        return None
+    import os
+    os.makedirs(out_dir, exist_ok=True)
+    return os.path.join(out_dir, f"{name}.jsonl.gz")
+
+
 def _write_obs(results: List[BenchResult],
                args: argparse.Namespace) -> None:
     """Write each result's OBS_* artifacts when --obs DIR was given."""
@@ -100,7 +114,10 @@ def _finish(results: List[BenchResult], kind: str, name: str,
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
-        cmp = compare_reports(report, baseline, threshold=args.threshold)
+        cmp = compare_reports(report, baseline, threshold=args.threshold,
+                              mem_threshold=getattr(
+                                  args, "mem_threshold",
+                                  DEFAULT_MEM_THRESHOLD))
         status = _print_comparison(cmp, args.threshold, out, args.baseline)
     violations = sum(len(r.violations) for r in results)
     if violations:
@@ -123,7 +140,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = measure_spec(spec, repeat=args.repeat, check=args.check,
                           shards=shards, obs=args.obs is not None,
                           obs_window_ms=args.obs_window,
-                          progress=args.progress)
+                          progress=args.progress,
+                          stream_path=_stream_path(args, spec.name))
     _print_result(result)
     _write_obs([result], args)
     name = spec.name if shards == 1 else f"shard_{spec.name}"
@@ -134,19 +152,23 @@ def cmd_ladder(args: argparse.Namespace) -> int:
     if args.rungs:
         rungs = [get_rung(n) for n in args.rungs.split(",")]
     else:
-        rungs = list(LADDER)
+        # The lazy-population rungs (xxl, metro) are opt-in by name.
+        rungs = [get_rung(n) for n in DEFAULT_RUNGS]
     shards = getattr(args, "shards", 1) or 1
     results: List[BenchResult] = []
     overhead: dict = {}
     for rung in rungs:
         spec = rung_spec(rung)
+        if args.duration is not None:
+            spec = spec.with_overrides({"duration_ms": args.duration})
         pops = node_counts(spec)
         print(f"[{rung.name}] nes={pops['nes']} mhs={pops['mhs']} "
-              f"duration={rung.duration_ms:.0f}ms ...", flush=True)
+              f"duration={spec.duration_ms:.0f}ms ...", flush=True)
         result = measure_spec(spec, repeat=args.repeat, check=args.check,
                               obs=args.obs is not None,
                               obs_window_ms=args.obs_window,
-                              progress=args.progress)
+                              progress=args.progress,
+                              stream_path=_stream_path(args, rung.name))
         result.name = rung.name  # rung name, not the base scenario's
         results.append(result)
         _print_result(result)
@@ -204,7 +226,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         current = json.load(fh)
     with open(args.baseline_file, "r", encoding="utf-8") as fh:
         baseline = json.load(fh)
-    cmp = compare_reports(current, baseline, threshold=args.threshold)
+    cmp = compare_reports(current, baseline, threshold=args.threshold,
+                          mem_threshold=args.mem_threshold)
     return _print_comparison(cmp, args.threshold, args.current,
                              args.baseline_file)
 
@@ -233,6 +256,13 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--progress", action="store_true",
                    help="heartbeat lines (events done, ev/s, ETA) every "
                         "~2 wall seconds on long runs, via the obs hook")
+    p.add_argument("--stream-trace", default=None, metavar="DIR",
+                   dest="stream_trace",
+                   help="stream every measured run's full trace to "
+                        "DIR/<name>.jsonl.gz (windowed gzip JSONL, "
+                        "byte-identical to an in-memory recording); "
+                        "headline ev/s then includes the serialization "
+                        "cost; sequential measurements only")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="report path (default BENCH_<name>.json in cwd)")
     p.add_argument("--baseline", default=None, metavar="FILE",
@@ -240,6 +270,11 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                    help="allowed fractional events/sec slowdown "
                         "(default 0.20)")
+    p.add_argument("--mem-threshold", type=float,
+                   default=DEFAULT_MEM_THRESHOLD, dest="mem_threshold",
+                   help="allowed fractional peak-RSS growth vs baseline "
+                        "(default 0.50; only gates entries with peak_rss "
+                        "on both sides)")
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -262,7 +297,14 @@ def make_parser() -> argparse.ArgumentParser:
         "ladder", help="benchmark the pinned scaling ladder")
     p_ladder.add_argument("--rungs", default=None, metavar="NAMES",
                           help=f"comma-separated subset of "
-                               f"{','.join(rung_names())} (default: all)")
+                               f"{','.join(rung_names())} (default: "
+                               f"{','.join(DEFAULT_RUNGS)}; the lazy-"
+                               f"population rungs xxl/metro are opt-in)")
+    p_ladder.add_argument("--duration", type=float, default=None,
+                          metavar="MS",
+                          help="override every selected rung's pinned "
+                               "duration (truncated smoke runs; ev/s is "
+                               "a rate, so still baseline-comparable)")
     p_ladder.add_argument("--obs-overhead", action="store_true",
                           help="measure every rung as alternating obs "
                                "off/on pairs (median-of-ratios) and stamp "
@@ -277,6 +319,10 @@ def make_parser() -> argparse.ArgumentParser:
                        help="baseline BENCH_*.json")
     p_cmp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                        help="allowed fractional slowdown (default 0.20)")
+    p_cmp.add_argument("--mem-threshold", type=float,
+                       default=DEFAULT_MEM_THRESHOLD, dest="mem_threshold",
+                       help="allowed fractional peak-RSS growth "
+                            "(default 0.50)")
     p_cmp.set_defaults(fn=cmd_compare)
     return parser
 

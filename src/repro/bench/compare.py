@@ -1,4 +1,4 @@
-"""Baseline comparison: flag events/sec regressions beyond a threshold.
+"""Baseline comparison: flag events/sec and peak-RSS regressions.
 
 Two ``BENCH_*.json`` reports compare entry-by-entry (matched on the
 ``name`` field — a ladder rung or a scenario).  An entry regresses when
@@ -12,25 +12,38 @@ the host's null-engine calibration, see :func:`repro.bench.measure.
 calibrate`) the comparison uses it, so a baseline committed from one
 machine meaningfully gates runs on another — raw events/sec is only
 comparable on the same host and is used as the fallback.
+
+When both sides of a matched entry carry a nonzero ``peak_rss``, the
+comparison also gates resident memory: growth beyond ``mem_threshold``
+(default 50% — RSS varies with allocator and interpreter build far
+more than a rate does) fails, shrinkage never does.  Entries without
+``peak_rss`` on either side (older baselines) skip the memory gate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
 #: Default allowed fractional slowdown before a comparison fails.
 DEFAULT_THRESHOLD = 0.20
 
+#: Default allowed fractional peak-RSS growth before a comparison fails.
+DEFAULT_MEM_THRESHOLD = 0.50
+
 
 @dataclass(frozen=True)
 class Delta:
-    """One matched entry's current-vs-baseline rate."""
+    """One matched entry's current-vs-baseline value."""
 
     name: str
     current: float
     baseline: float
     metric: str = "events_per_sec"
+    #: peak_rss deltas regress on *growth*; rates regress on shrinkage.
+    lower_is_better: bool = False
+    #: Per-delta threshold override (memory deltas carry their own).
+    threshold: Optional[float] = None
 
     @property
     def ratio(self) -> float:
@@ -40,10 +53,18 @@ class Delta:
         return self.current / self.baseline
 
     def regressed(self, threshold: float) -> bool:
-        return self.ratio < 1.0 - threshold
+        t = self.threshold if self.threshold is not None else threshold
+        if self.lower_is_better:
+            return self.ratio > 1.0 + t
+        return self.ratio < 1.0 - t
 
     def describe(self) -> str:
         pct = (self.ratio - 1.0) * 100.0
+        if self.metric == "peak_rss":
+            mib = 1 << 20
+            return (f"{self.name} [peak_rss]: {self.current / mib:,.1f} MiB "
+                    f"vs baseline {self.baseline / mib:,.1f} MiB "
+                    f"({pct:+.1f}%)")
         unit = "x null" if self.metric == "events_per_sec_norm" else "ev/s"
         return (f"{self.name}: {self.current:,.4g} {unit} vs baseline "
                 f"{self.baseline:,.4g} {unit} ({pct:+.1f}%)")
@@ -75,7 +96,7 @@ class ComparisonReport:
             "ok": self.ok,
             "metric": self.metric,
             "deltas": [
-                {"name": d.name, "current": d.current,
+                {"name": d.name, "metric": d.metric, "current": d.current,
                  "baseline": d.baseline, "ratio": round(d.ratio, 4),
                  "regressed": d.regressed(self.threshold)}
                 for d in self.deltas
@@ -97,6 +118,15 @@ def _rates_by_name(report: Mapping[str, Any],
     return out
 
 
+def _rss_by_name(report: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for entry in report.get("results") or []:
+        rss = float(entry.get("peak_rss", 0) or 0)
+        if rss > 0:
+            out[str(entry["name"])] = rss
+    return out
+
+
 def _pick_metric(current: Mapping[str, Any],
                  baseline: Mapping[str, Any]) -> str:
     def has_norm(report: Mapping[str, Any]) -> bool:
@@ -110,11 +140,17 @@ def _pick_metric(current: Mapping[str, Any],
 
 
 def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
-                    threshold: float = DEFAULT_THRESHOLD) -> ComparisonReport:
+                    threshold: float = DEFAULT_THRESHOLD,
+                    mem_threshold: float = DEFAULT_MEM_THRESHOLD,
+                    ) -> ComparisonReport:
     """Compare two report payloads (see :func:`repro.bench.measure.
-    bench_report`); entries match on ``name``."""
+    bench_report`); entries match on ``name``.  Matched entries with a
+    nonzero ``peak_rss`` on both sides additionally gate memory growth
+    against ``mem_threshold``."""
     if not 0 <= threshold < 1:
         raise ValueError("threshold must be a fraction in [0, 1)")
+    if mem_threshold < 0:
+        raise ValueError("mem_threshold must be >= 0")
     metric = _pick_metric(current, baseline)
     cur = _rates_by_name(current, metric)
     base = _rates_by_name(baseline, metric)
@@ -126,4 +162,12 @@ def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
         else:
             report.only_current.append(name)
     report.only_baseline.extend(n for n in base if n not in cur)
+    cur_rss = _rss_by_name(current)
+    base_rss = _rss_by_name(baseline)
+    for name in cur_rss:
+        if name in base_rss:
+            report.deltas.append(Delta(name, cur_rss[name], base_rss[name],
+                                       metric="peak_rss",
+                                       lower_is_better=True,
+                                       threshold=mem_threshold))
     return report

@@ -8,6 +8,14 @@ shrinks as the population grows so a full ladder stays a
 minutes-not-hours affair; events/sec is duration-independent, which is
 the point of measuring a *rate*.
 
+Above ``xl`` the ladder switches regime: the ``xxl`` (~10^5 MHs) and
+``metro`` (~10^6 MHs) rungs declare almost their whole MH population as
+a lazy per-AP *catchment* — entities that exist only as a count until
+an open-world session arrival materializes one — with the per-MH app
+log off and MQ retention pinned to the Theorem 5.1 bound.  These rungs
+measure peak RSS as much as events/sec: resident memory must track the
+*active* population, not the declared one.
+
 Rungs are data, pinned here on purpose: a benchmark whose shape drifts
 with the registry cannot be compared across commits.
 """
@@ -37,11 +45,19 @@ class Rung:
     aps_per_ag: int
     mhs_per_ap: int
     duration_ms: float
+    #: Lazily-registered idle MHs per AP: population that exists only
+    #: as a catchment count until an open-world session materializes
+    #: one.  The 10^5/10^6-endpoint rungs live here — they are memory-
+    #: infeasible as eagerly-built objects.
+    idle_per_ap: int = 0
+    #: Open-world session arrivals per second over the catchment
+    #: (0 = no session driver).  Requires ``idle_per_ap > 0``.
+    openworld_arrivals: float = 0.0
 
     @property
     def overrides(self) -> Dict[str, Any]:
         """Dotted-path spec overrides realizing this rung."""
-        return {
+        d = {
             "hierarchy.n_br": self.n_br,
             "hierarchy.ags_per_br": self.ags_per_br,
             "hierarchy.aps_per_ag": self.aps_per_ag,
@@ -50,11 +66,27 @@ class Rung:
             "warmup_ms": 0.0,
             "seed": LADDER_SEED,
         }
+        if self.idle_per_ap:
+            # The big rungs run in bounded-memory mode: no per-MH app
+            # log, delivered history spilled past the Theorem 5.1 MQ
+            # bound.  Anything else grows with traffic, not population.
+            d["hierarchy.idle_per_ap"] = self.idle_per_ap
+            d["protocol.retain_app_log"] = False
+            d["bound_retention"] = True
+        if self.openworld_arrivals:
+            d["openworld.enabled"] = True
+            d["openworld.arrivals_per_sec"] = self.openworld_arrivals
+        return d
 
 
-#: tens → thousands of nodes.  (nes, mhs, total) per rung:
+#: tens → millions of nodes.  (nes, mhs, total) per rung:
 #:   xs: (6, 4, 10)     s: (21, 24, 45)      m: (64, 192, 256)
 #:   l: (174, 864, 1038)   xl: (368, 1920, 2288)
+#:   xxl: (584, 100_352, 100_936)   metro: (4_232, 999_424, 1_003_656)
+#: The xxl/metro MH populations are 1 built + idle_per_ap *registered*
+#: per AP: lazy catchment counts, materialized only by open-world
+#: session arrivals — the rungs that prove O(active), not O(declared),
+#: memory.
 LADDER: Tuple[Rung, ...] = (
     Rung("xs", n_br=2, ags_per_br=1, aps_per_ag=1, mhs_per_ap=2,
          duration_ms=4_000.0),
@@ -66,7 +98,18 @@ LADDER: Tuple[Rung, ...] = (
          duration_ms=1_000.0),
     Rung("xl", n_br=8, ags_per_br=5, aps_per_ag=8, mhs_per_ap=6,
          duration_ms=500.0),
+    Rung("xxl", n_br=8, ags_per_br=8, aps_per_ag=8, mhs_per_ap=1,
+         duration_ms=400.0, idle_per_ap=195, openworld_arrivals=200.0),
+    Rung("metro", n_br=8, ags_per_br=16, aps_per_ag=32, mhs_per_ap=1,
+         duration_ms=200.0, idle_per_ap=243, openworld_arrivals=300.0),
 )
+
+#: Rungs ``python -m repro.bench ladder`` runs when ``--rungs`` is not
+#: given: the closed-world ladder.  The lazy-population rungs (xxl,
+#: metro) are opt-in — they measure a different regime (million-endpoint
+#: build + open-world traffic) and would dominate a default run's wall
+#: clock.
+DEFAULT_RUNGS: Tuple[str, ...] = ("xs", "s", "m", "l", "xl")
 
 
 #: Long-form spellings accepted anywhere a rung name is: people type
@@ -79,6 +122,10 @@ RUNG_ALIASES = {
     "large": "l",
     "xlarge": "xl",
     "extra-large": "xl",
+    "xxlarge": "xxl",
+    "extra-extra-large": "xxl",
+    "million": "metro",
+    "metropolitan": "metro",
 }
 
 
@@ -109,7 +156,11 @@ def rung_spec(rung: Rung) -> ExperimentSpec:
 
 
 def node_counts(spec: ExperimentSpec) -> Dict[str, int]:
-    """NE/MH/total population of a spec's hierarchy (depth-1 and deep)."""
+    """NE/MH/total population of a spec's hierarchy (depth-1 and deep).
+
+    ``mhs`` counts the *declared* population: eagerly-built MHs plus
+    the lazily-registered per-AP catchment (``idle_per_ap``).
+    """
     h = spec.hierarchy
     if h.depth > 1:
         ags = sum(h.n_br * h.ring_size ** level
@@ -120,5 +171,5 @@ def node_counts(spec: ExperimentSpec) -> Dict[str, int]:
         ags = h.n_br * h.ags_per_br
         aps = ags * h.aps_per_ag
     nes = h.n_br + ags + aps
-    mhs = aps * h.mhs_per_ap
+    mhs = aps * (h.mhs_per_ap + h.idle_per_ap)
     return {"nes": nes, "mhs": mhs, "total": nes + mhs}

@@ -33,6 +33,27 @@ BENCH_SCHEMA = "repro.bench/v1"
 CALIBRATION_EVENTS = 50_000
 
 
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes.
+
+    Linux reads ``VmHWM`` from ``/proc/self/status``; elsewhere (or in
+    restricted containers) it falls back to ``resource.ru_maxrss``.
+    Both are process-lifetime high-water marks — monotone across
+    repeats and rungs — so the number stamped on a result is "peak RSS
+    observed by the end of this measurement", and in an ascending
+    ladder the largest rung dominates.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    import resource
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
 def calibrate(events: int = CALIBRATION_EVENTS) -> float:
     """Events/sec of a null workload: the engine spinning no-op events.
 
@@ -77,6 +98,14 @@ class BenchResult:
     deliveries: int = 0
     repeat: int = 1
     wall_s_all: List[float] = field(default_factory=list)
+    #: Peak resident set size (bytes) observed by the end of this
+    #: measurement — the out-of-heap companion to ``peak_heap``.
+    peak_rss: int = 0
+    #: Streaming-sink destination and record count when the run was
+    #: measured with ``stream_path`` (trace subscribers attached, so
+    #: ev/s then includes the serialization cost).
+    trace_path: Optional[str] = None
+    trace_records: int = 0
     checked: bool = False
     violations: List[str] = field(default_factory=list)
     #: Worker-process count of a sharded measurement (1 = sequential).
@@ -112,6 +141,7 @@ class BenchResult:
             # run that scheduled at all), and compactions==0 then says
             # "never needed", not "not measured".
             "peak_heap": self.peak_heap,
+            "peak_rss": self.peak_rss,
             "compactions": self.compactions,
             "deliveries": self.deliveries,
             "repeat": self.repeat,
@@ -120,6 +150,9 @@ class BenchResult:
             "violations": list(self.violations),
             "shards": self.shards,
         }
+        if self.trace_path is not None:
+            out["trace_path"] = self.trace_path
+            out["trace_records"] = self.trace_records
         if self.shard_stats is not None:
             out["shard"] = dict(self.shard_stats)
         if self.speedup is not None:
@@ -130,8 +163,11 @@ class BenchResult:
 def _populations(net) -> Dict[str, int]:
     # ``nodes`` = NE + MH, matching repro.bench.ladder.node_counts and
     # the documented rung totals; traffic sources are reported apart.
+    # The MH count is the declared population: materialized MHs plus
+    # the never-materialized remainder of the lazy catchment.
     nes = len(getattr(net, "nes", ()))
-    mhs = len(getattr(net, "mobile_hosts", ()))
+    mhs = (len(getattr(net, "mobile_hosts", ()))
+           + getattr(net, "catchment_idle", 0))
     sources = len(getattr(net, "sources", ()))
     return {"nes": nes, "mhs": mhs, "sources": sources, "nodes": nes + mhs}
 
@@ -139,7 +175,8 @@ def _populations(net) -> Dict[str, int]:
 def measure_spec(spec: ExperimentSpec, repeat: int = 1,
                  check: bool = False, shards: int = 1,
                  obs: bool = False, obs_window_ms: Optional[float] = None,
-                 progress: bool = False) -> BenchResult:
+                 progress: bool = False,
+                 stream_path: Optional[str] = None) -> BenchResult:
     """Benchmark one spec; headline numbers are the fastest repeat.
 
     Every repeat is a complete fresh build+run (same seed, so the same
@@ -160,10 +197,21 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
     overhead, which is exactly what the CI obs-overhead gate compares.
     ``progress=True`` emits wall-clock heartbeats through the same
     hook (usable with or without ``obs``).
+
+    ``stream_path`` streams the full trace to that file (``.gz``
+    compressed when the name says so) through a
+    :class:`~repro.sim.trace.StreamingTraceSink`, one sink per repeat
+    (each overwrites the last).  The headline events/sec then includes
+    the serialization cost — the point is proving the streaming rung
+    end to end, not flattering the rate.  Sequential only.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
     if shards > 1:
+        if stream_path is not None:
+            raise ValueError(
+                "stream_path is a sequential-measure feature; stream a "
+                "sharded run via repro.shard.record_sharded")
         return _measure_sharded(spec, repeat, shards, check, obs=obs)
     from repro.experiments.runner import build_scenario  # lazy: heavy
 
@@ -172,8 +220,14 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
     best_session = None
     walls: List[float] = []
     peak_heap = 0
+    trace_records = 0
     for _ in range(repeat):
         sim = Simulator(seed=spec.seed, trace=TraceBus(counting=False))
+        sink = None
+        if stream_path is not None:
+            from repro.sim.trace import StreamingTraceSink
+            sink = StreamingTraceSink(stream_path)
+            sink.attach(sim.trace)
         t0 = time.perf_counter()
         scenario = build_scenario(spec, sim=sim)
         session = None
@@ -183,10 +237,16 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
                                  name=spec.name, window_ms=obs_window_ms,
                                  progress=progress)
         t1 = time.perf_counter()
-        scenario.run()
+        try:
+            scenario.run()
+        finally:
+            if sink is not None:
+                sink.close()
         t2 = time.perf_counter()
         if session is not None:
             session.finish()
+        if sink is not None:
+            trace_records = sink.count
         wall = t2 - t1
         walls.append(wall)
         peak_heap = max(peak_heap, sim.peak_heap)
@@ -211,6 +271,9 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
         repeat=repeat,
         wall_s_all=walls,
         peak_heap=peak_heap,
+        peak_rss=peak_rss_bytes(),
+        trace_path=stream_path,
+        trace_records=trace_records,
         **best,
     )
     if obs and best_session is not None:
@@ -259,6 +322,9 @@ def _measure_sharded(spec: ExperimentSpec, repeat: int,
         wall_s=best.wall_s,
         events_per_sec=best.events_per_sec,
         peak_heap=peak_heap,
+        # Coordinator-process high-water mark only; worker RSS lives in
+        # the workers and is not aggregated here.
+        peak_rss=peak_rss_bytes(),
         compactions=best.compactions,
         deliveries=best.deliveries,
         repeat=repeat,

@@ -79,6 +79,13 @@ class ProtocolConfig:
     #: How long an AP path reservation stays warm with no attached member.
     reservation_ttl: float = 2000.0
 
+    #: Keep the per-MH application delivery log ((gseq, payload, latency)
+    #: tuples).  Observer state only — the delivery *count* is tracked
+    #: regardless — so the big scale rungs turn it off: at 10^5–10^6 MHs
+    #: an unbounded per-entity list is the difference between O(idle
+    #: population) and O(traffic history) resident memory.
+    retain_app_log: bool = True
+
     def __post_init__(self) -> None:
         if self.tau <= 0:
             raise ValueError("tau must be positive")

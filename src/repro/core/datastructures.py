@@ -29,7 +29,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.net.address import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferedMessage:
     """One multicast message as buffered in an MQ (paper §4.1).
 
@@ -69,6 +69,10 @@ class MessageQueue:
       messages between ``valid_front`` and ``front`` are the handoff
       catch-up reserve (paper: ValidFront, NEs only).
     """
+
+    __slots__ = ("capacity", "start_seq", "_store", "_undelivered",
+                 "rear", "front", "valid_front", "peak_occupancy",
+                 "overflows", "inserted", "tombstoned")
 
     def __init__(self, capacity: int = 0, start_seq: int = 0):
         if capacity < 0:
@@ -245,7 +249,7 @@ class MessageQueue:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class WQEntry:
     """One raw message awaiting ordering in a WQ stream."""
 
@@ -264,6 +268,9 @@ class WorkingQueue:
     keep messages from one source" — here keyed by the ordering node
     (one source per top-ring node, §4.2.1 assumption).
     """
+
+    __slots__ = ("capacity_per_stream", "_streams", "peak_occupancy",
+                 "overflows", "inserted")
 
     def __init__(self, capacity_per_stream: int = 0):
         self.capacity_per_stream = capacity_per_stream
@@ -321,6 +328,8 @@ class WorkingTable:
     ``from_seq + 1``) — this is how handoff catch-up and late joins seed
     delivery state.
     """
+
+    __slots__ = ("_max_delivered",)
 
     def __init__(self) -> None:
         self._max_delivered: Dict[NodeId, int] = {}

@@ -47,7 +47,18 @@ from repro.net.transport import ReliableChannel
 
 
 class MobileHost(NetNode):
-    """A mobile group member."""
+    """A mobile group member.
+
+    Fully slotted: MHs are the entity that exists a hundred thousand to
+    a million times at the top bench rungs, so per-instance ``__dict__``
+    overhead (and any unbounded observer state — see
+    ``ProtocolConfig.retain_app_log``) dominates resident memory there.
+    """
+
+    __slots__ = ("cfg", "guid", "luid", "ap", "is_member", "mq", "chan",
+                 "app_log", "tombstones", "handoffs", "last_delivery_at",
+                 "_delivered_n", "_attach_epoch", "_gap_state",
+                 "_gap_timer")
 
     def __init__(self, fabric: Fabric, guid: NodeId, cfg: ProtocolConfig):
         NetNode.__init__(self, fabric, guid)
@@ -61,11 +72,13 @@ class MobileHost(NetNode):
         self.mq = MessageQueue()
         self.chan = ReliableChannel(self, rto=cfg.wireless_rto,
                                     max_retries=cfg.max_retries)
-        #: (global_seq, payload, latency) for every app-level delivery.
+        #: (global_seq, payload, latency) for every app-level delivery —
+        #: observer state, kept only while ``cfg.retain_app_log`` says so.
         self.app_log: List[Tuple[int, Any, float]] = []
         self.tombstones = 0
         self.handoffs = 0
         self.last_delivery_at: float = -1.0
+        self._delivered_n = 0
         self._attach_epoch = 0
         self._gap_state: Optional[Tuple[int, float, int]] = None
         self._gap_timer = self.periodic(
@@ -174,7 +187,9 @@ class MobileHost(NetNode):
             self.mq.mark_delivered(bm.global_seq, at=self.now)
             self.mq.advance_front()
             latency = self.now - bm.created_at
-            self.app_log.append((bm.global_seq, bm.payload, latency))
+            self._delivered_n += 1
+            if self.cfg.retain_app_log:
+                self.app_log.append((bm.global_seq, bm.payload, latency))
             self.last_delivery_at = self.now
             self.sim.trace.emit(
                 self.now, "mh.deliver", mh=self.guid, gseq=bm.global_seq,
@@ -230,9 +245,16 @@ class MobileHost(NetNode):
     # ------------------------------------------------------------------
     @property
     def delivered_count(self) -> int:
-        """Messages delivered to the application so far."""
-        return len(self.app_log)
+        """Messages delivered to the application so far.
+
+        Counted independently of ``app_log`` so it stays correct when
+        ``cfg.retain_app_log`` is off.
+        """
+        return self._delivered_n
 
     def delivered_seqs(self) -> List[int]:
-        """Global sequence numbers delivered, in delivery order."""
+        """Global sequence numbers delivered, in delivery order.
+
+        Reads the app log — empty when ``cfg.retain_app_log`` is off.
+        """
         return [g for g, _, _ in self.app_log]

@@ -72,6 +72,14 @@ class RingNet:
         self.nes: Dict[NodeId, NetworkEntity] = {}
         self.sources: Dict[NodeId, MulticastSource] = {}
         self.mobile_hosts: Dict[NodeId, MobileHost] = {}
+        #: Lazily-materialized idle population: per-AP count of MHs that
+        #: exist only as a number until :meth:`activate_catchment` turns
+        #: one into a real :class:`MobileHost`.  O(#APs) memory for any
+        #: population size — the mechanism behind the xxl/metro rungs.
+        self._catchment: Dict[NodeId, int] = {}
+        #: How many catchment slots :meth:`activate_catchment` has
+        #: turned into real MHs so far.
+        self.catchment_materialized = 0
         self.maintenance = TopologyMaintenance(hierarchy)
         self.maintenance.subscribe(self._on_topology_change)
         self._build_nes()
@@ -161,8 +169,15 @@ class RingNet:
         corresponding: Optional[NodeId] = None,
         rate_per_sec: float = 10.0,
         pattern: str = "cbr",
+        rate_fn=None,
+        flows=None,
     ) -> MulticastSource:
-        """Attach a multicast source to a top-ring corresponding node."""
+        """Attach a multicast source to a top-ring corresponding node.
+
+        ``rate_fn`` (time → rate factor) and ``flows`` (a
+        :class:`~repro.core.source.FlowProfile`) pass through to the
+        source for the open-world workloads.
+        """
         if corresponding is None:
             # Round-robin over top-ring members.
             members = self.hierarchy.top_ring.members
@@ -170,7 +185,8 @@ class RingNet:
         if source_id is None:
             source_id = make_id("src", len(self.sources))
         src = MulticastSource(self.fabric, source_id, self.cfg,
-                              corresponding, rate_per_sec, pattern)
+                              corresponding, rate_per_sec, pattern,
+                              rate_fn=rate_fn, flows=flows)
         self.fabric.connect(source_id, corresponding, WIRED)
         self.nes[corresponding].source_id = source_id
         self.sources[source_id] = src
@@ -193,6 +209,72 @@ class RingNet:
             # An MH rides with the shard of the AP it first attaches to.
             self.sim.shard.adopt(mh_id, ap_id)
         if join:
+            self.sim.call_owned(mh_id, mh.join, ap_id)
+        return mh
+
+    # ------------------------------------------------------------------
+    # Lazy catchment population
+    # ------------------------------------------------------------------
+    @staticmethod
+    def catchment_mh_id(ap_id: NodeId, index: int) -> NodeId:
+        """The deterministic id of catchment member ``index`` of ``ap_id``.
+
+        ``ap:i.j.k`` → ``mh:i.j.k.c<index>`` — the ``c`` segment keeps
+        catchment ids disjoint from build-time MH ids for any shape.
+        """
+        return "mh:" + ap_id.split(":", 1)[1] + f".c{index}"
+
+    def register_catchment(self, ap_id: NodeId, count: int) -> None:
+        """Declare ``count`` idle MHs behind ``ap_id`` without creating
+        them.
+
+        Until one is activated it costs one dict slot per *AP*, not per
+        MH: no :class:`MobileHost`, no channel, no wireless link, no
+        timers.  Replicated structural state under sharding (every shard
+        sees the same counts).
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if ap_id not in self.nes:
+            raise KeyError(f"unknown AP {ap_id!r}")
+        self._catchment[ap_id] = self._catchment.get(ap_id, 0) + count
+
+    def catchment_size(self, ap_id: NodeId) -> int:
+        """Registered (materialized or not) catchment size of one AP."""
+        return self._catchment.get(ap_id, 0)
+
+    @property
+    def catchment_total(self) -> int:
+        """Total registered catchment population across all APs."""
+        return sum(self._catchment.values())
+
+    @property
+    def catchment_idle(self) -> int:
+        """Registered catchment slots never yet materialized — the
+        population that currently costs no per-entity memory."""
+        return self.catchment_total - self.catchment_materialized
+
+    def activate_catchment(self, ap_id: NodeId, index: int,
+                           join: bool = True) -> MobileHost:
+        """Materialize catchment MH ``index`` of ``ap_id`` on first use.
+
+        Idempotent: activating an already-materialized (or re-joining a
+        departed) member returns the existing instance.  This is the
+        "created on first event" entry point the open-world drivers hit
+        — everything an MH owns (protocol state, channel, link, timers)
+        comes into being here, not at build time.
+        """
+        n = self._catchment.get(ap_id, 0)
+        if index >= n:
+            raise IndexError(
+                f"catchment index {index} out of range for {ap_id!r} "
+                f"(registered {n})")
+        mh_id = self.catchment_mh_id(ap_id, index)
+        mh = self.mobile_hosts.get(mh_id)
+        if mh is None:
+            self.catchment_materialized += 1
+            return self.add_mobile_host(mh_id, ap_id, join=join)
+        if join and not mh.is_member:
             self.sim.call_owned(mh_id, mh.join, ap_id)
         return mh
 

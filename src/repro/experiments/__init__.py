@@ -35,7 +35,7 @@ Quickstart
 
 from repro.experiments.spec import (ChurnSpec, ExperimentSpec, FailureEvent,
                                     HierarchyShape, MobilitySpec,
-                                    WorkloadSpec)
+                                    OpenWorldSpec, WorkloadSpec)
 from repro.experiments.grid import RunPoint, expand_grid
 from repro.experiments.results import (RunResult, aggregate, export_csv,
                                        export_json, to_artifact)
@@ -44,7 +44,7 @@ from repro.experiments import registry
 
 __all__ = [
     "ExperimentSpec", "HierarchyShape", "WorkloadSpec", "MobilitySpec",
-    "ChurnSpec", "FailureEvent",
+    "ChurnSpec", "OpenWorldSpec", "FailureEvent",
     "RunPoint", "expand_grid",
     "RunResult", "aggregate", "export_json", "export_csv", "to_artifact",
     "build_scenario", "run_point", "run_sweep",

@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.experiments.spec import (ChurnSpec, ExperimentSpec, FailureEvent,
                                     HierarchyShape, MobilitySpec,
-                                    WorkloadSpec)
+                                    OpenWorldSpec, WorkloadSpec)
 from repro.faults.plan import (Degrade, FaultPlan, Flap, LossBurst,
                                Partition)
 
@@ -403,4 +403,63 @@ def _correlated_ap_failures() -> ExperimentSpec:
             FailureEvent(at_ms=5_000.0, kind="crash", target="ap:0.0.1"),
         ],
         duration_ms=12_000.0, warmup_ms=2_000.0, seed=29,
+    )
+
+
+@register("open_world",
+          "Poisson session arrivals over a lazy catchment; Pareto flows")
+def _open_world() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="open_world",
+        description="an un-materialized per-AP catchment, heavy-tailed "
+                    "sessions arriving and leaving, heavy-tailed flow "
+                    "sizes, MQ retention pinned to the Theorem 5.1 "
+                    "bound — the metro population as traffic",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1, idle_per_ap=8),
+        workload=WorkloadSpec(
+            s=2, rate_per_sec=25.0, pattern="flows",
+            flows={"arrivals_per_sec": 5.0, "size_mean": 6.0,
+                   "alpha": 1.5}),
+        openworld=OpenWorldSpec(enabled=True, arrivals_per_sec=25.0,
+                                mean_session_ms=800.0,
+                                max_session_ms=4_000.0),
+        bound_retention=True,
+        duration_ms=8_000.0, warmup_ms=1_000.0, seed=71,
+    )
+
+
+@register("flash_crowd",
+          "a 6x flash-crowd rate spike ramps, holds, and decays")
+def _flash_crowd() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="flash_crowd",
+        description="steady CBR until t=800 ms, then a 6x spike over "
+                    "300 ms, held 600 ms: WQ/MQ and the token ring "
+                    "absorb the surge and drain back",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(
+            s=2, rate_per_sec=15.0,
+            curve={"kind": "flash", "at_ms": 800.0, "ramp_ms": 300.0,
+                   "peak_factor": 6.0, "hold_ms": 600.0,
+                   "decay_ms": 400.0}),
+        duration_ms=8_000.0, warmup_ms=500.0, seed=73,
+    )
+
+
+@register("diurnal",
+          "day/night sinusoidal load cycle, compressed to 2 s periods")
+def _diurnal() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="diurnal",
+        description="CBR senders modulated by 1 + 0.6*sin(2*pi*t/2s): "
+                    "sustained swing between 0.4x and 1.6x load",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=2),
+        workload=WorkloadSpec(
+            s=2, rate_per_sec=20.0,
+            curve={"kind": "diurnal", "period_ms": 2_000.0,
+                   "amplitude": 0.6}),
+        duration_ms=8_000.0, warmup_ms=1_000.0, seed=79,
     )

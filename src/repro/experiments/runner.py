@@ -20,19 +20,24 @@ dicts, so the pool works under both fork and spawn start methods.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import time
 from contextlib import nullcontext
+from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.analysis.bounds import bounds_for
 from repro.experiments.grid import RunPoint
 from repro.faults.driver import FaultDriver
 from repro.experiments.results import RunResult
 from repro.experiments.spec import ExperimentSpec
 from repro.baselines.single_ring import SingleRingMulticast
 from repro.baselines.unordered import UnorderedRingNet
+from repro.core.config import ProtocolConfig
 from repro.core.protocol import RingNet
+from repro.core.source import FlowProfile
 from repro.metrics.collectors import LatencyCollector, ThroughputCollector
 from repro.metrics.order_checker import OrderChecker
 from repro.mobility.cells import CellGrid
@@ -40,22 +45,57 @@ from repro.mobility.handoff import HandoffDriver
 from repro.mobility.models import DirectionalWalk, RandomWalk
 from repro.net.fabric import Fabric
 from repro.net.failure import FailureInjector
+from repro.net.link import WIRED, WIRELESS
 from repro.sim.engine import Simulator
 from repro.topology.builder import (HierarchySpec, build_deep_hierarchy,
                                     deep_initial_attachments,
                                     provision_links)
 from repro.topology.tiers import Tier
 from repro.workloads.churn import ChurnDriver
-from repro.workloads.generators import weighted_sources
+from repro.workloads.generators import RateCurve, weighted_sources
+from repro.workloads.openworld import OpenWorldDriver
 from repro.workloads.scenarios import Scenario
 
 
 # ----------------------------------------------------------------------
 # Spec -> Scenario
 # ----------------------------------------------------------------------
+def _bounded_cfg(cfg: ProtocolConfig,
+                 spec: ExperimentSpec) -> ProtocolConfig:
+    """Pin ``mq_retention`` to the Theorem 5.1 MQ sufficiency bound.
+
+    The theorem says s·λ·T_order messages of retained history suffice;
+    keeping more only serves handoff catch-up beyond the bound, so the
+    memory-bounded rungs spill everything past it.  Heterogeneous rate
+    lists use the max per-source rate, keeping the bound conservative.
+    """
+    shape = spec.hierarchy
+    rates = spec.workload.source_rates
+    bounds = bounds_for(
+        cfg,
+        ring_size=shape.n_br,
+        n_sources=len(rates),
+        rate_per_sec=max(rates),
+        wired=WIRED,
+        wireless=WIRELESS,
+        # Standard hierarchy: BR→AG, AG→AP, AP→MH = 3 hops below the
+        # top ring; a depth-d generalized hierarchy adds d-1 ring tiers
+        # between BR and AP.
+        tree_depth=3 if shape.depth == 1 else shape.depth + 2,
+    )
+    return replace(cfg,
+                   mq_retention=max(1, math.ceil(bounds.mq_bound_msgs)))
+
+
 def _build_net(sim: Simulator, spec: ExperimentSpec):
     shape = spec.hierarchy
     cfg = spec.protocol_config()
+    if spec.bound_retention:
+        if spec.system != "ringnet":
+            raise ValueError(
+                "bound_retention applies Theorem 5.1 to the ringnet "
+                f"top ring; it has no meaning for {spec.system!r}")
+        cfg = _bounded_cfg(cfg, spec)
     if spec.system == "single_ring":
         n_bs = shape.n_br * shape.ags_per_br * shape.aps_per_ag
         return SingleRingMulticast.build_ring(
@@ -167,8 +207,29 @@ def build_scenario(spec: ExperimentSpec,
         raise ValueError(
             f"pre-built simulator seed {sim.seed} != spec seed {spec.seed}")
     net = _build_net(sim, spec)
-    fleet = weighted_sources(net, spec.workload.source_rates,
-                             pattern=spec.workload.pattern)
+
+    wl = spec.workload
+    extra: Dict[str, Any] = {}
+    if wl.curve is not None:
+        rate_fn = RateCurve.from_dict(wl.curve).as_fn()
+        if rate_fn is not None:
+            extra["rate_fn"] = rate_fn
+    if wl.flows is not None and wl.pattern == "flows":
+        extra["flows"] = FlowProfile(**wl.flows)
+    if spec.system != "ringnet" and (extra or wl.pattern == "flows"):
+        raise ValueError(
+            "time-varying curves and the flows pattern require the "
+            f"ringnet system, not {spec.system!r}")
+    fleet = weighted_sources(net, wl.source_rates, pattern=wl.pattern,
+                             **extra)
+
+    if spec.hierarchy.idle_per_ap > 0:
+        if spec.system != "ringnet":
+            raise ValueError(
+                f"idle_per_ap requires the ringnet system, "
+                f"not {spec.system!r}")
+        for ap in net.hierarchy.nodes_of_tier(Tier.AP):
+            net.register_catchment(ap, spec.hierarchy.idle_per_ap)
 
     grid = mobility = None
     if spec.mobility.enabled:
@@ -189,6 +250,20 @@ def build_scenario(spec: ExperimentSpec,
                             mean_interval_ms=spec.churn.mean_interval_ms,
                             min_members=spec.churn.min_members)
 
+    openworld = None
+    if spec.openworld.enabled:
+        if spec.system != "ringnet":
+            raise ValueError(
+                f"openworld requires the ringnet system, "
+                f"not {spec.system!r}")
+        ow = spec.openworld
+        openworld = OpenWorldDriver(
+            net, net.hierarchy.nodes_of_tier(Tier.AP),
+            arrivals_per_sec=ow.arrivals_per_sec,
+            mean_session_ms=ow.mean_session_ms,
+            alpha=ow.alpha,
+            max_session_ms=ow.max_session_ms)
+
     if spec.failures:
         _schedule_failures(sim, net, spec)
 
@@ -198,8 +273,8 @@ def build_scenario(spec: ExperimentSpec,
         faults.schedule()
 
     return Scenario(sim=sim, net=net, fleet=fleet, grid=grid,
-                    mobility=mobility, churn=churn, faults=faults,
-                    duration_ms=spec.duration_ms,
+                    mobility=mobility, churn=churn, openworld=openworld,
+                    faults=faults, duration_ms=spec.duration_ms,
                     stagger_ms=spec.workload.stagger_ms)
 
 

@@ -26,8 +26,15 @@ from repro.faults.plan import FaultPlan
 #: protocol; the others are the comparison baselines.
 SYSTEMS = ("ringnet", "unordered", "single_ring")
 
-#: Traffic arrival patterns understood by MulticastSource.
-PATTERNS = ("cbr", "poisson")
+#: Traffic arrival patterns understood by MulticastSource.  ``flows``
+#: is the open-world pattern: Poisson flow arrivals, each flow a
+#: bounded-Pareto burst of back-to-back messages (psim's TrafficGen
+#: shape).
+PATTERNS = ("cbr", "poisson", "flows")
+
+#: Time-varying source-rate curves (spec-level; resolved by the runner
+#: into a deterministic rate function of simulated time).
+CURVE_KINDS = ("constant", "diurnal", "flash")
 
 #: Mobility models the runner can instantiate.
 MOBILITY_MODELS = ("random_walk", "directional")
@@ -63,12 +70,20 @@ class HierarchyShape:
     mhs_per_ap: int = 2
     depth: int = 1
     ring_size: int = 3
+    #: Lazily-materialized idle MHs behind every AP, *in addition to*
+    #: the ``mhs_per_ap`` active ones built eagerly.  They cost O(#APs)
+    #: memory until an open-world session arrival activates one — this
+    #: is how the xxl/metro rungs describe 10^5–10^6-endpoint
+    #: populations.
+    idle_per_ap: int = 0
 
     def __post_init__(self) -> None:
         if self.n_br < 1:
             raise ValueError("n_br must be >= 1")
         if self.depth < 1:
             raise ValueError("depth must be >= 1")
+        if self.idle_per_ap < 0:
+            raise ValueError("idle_per_ap must be >= 0")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "HierarchyShape":
@@ -82,8 +97,15 @@ class WorkloadSpec:
 
     ``rates`` (when given) lists an explicit per-source rate for each of
     the sources — the hotspot/heterogeneous case; it overrides ``s`` and
-    ``rate_per_sec``.  ``pattern`` is ``cbr`` (Theorem 5.1's workload) or
-    ``poisson`` (bursty arrivals with the same mean).
+    ``rate_per_sec``.  ``pattern`` is ``cbr`` (Theorem 5.1's workload),
+    ``poisson`` (bursty arrivals with the same mean), or ``flows``
+    (open-world: Poisson flow arrivals, bounded-Pareto flow sizes).
+
+    ``curve`` makes the rate time-varying: a dict with ``kind`` from
+    :data:`CURVE_KINDS` plus kind-specific knobs (see
+    :class:`repro.workloads.generators.RateCurve`).  ``flows`` (the
+    dict) parameterizes the flow pattern (see
+    :class:`repro.core.source.FlowProfile`); ignored for other patterns.
     """
 
     s: int = 2
@@ -91,12 +113,18 @@ class WorkloadSpec:
     pattern: str = "cbr"
     rates: Optional[List[float]] = None
     stagger_ms: float = 3.0
+    curve: Optional[Dict[str, Any]] = None
+    flows: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERNS:
             raise ValueError(f"pattern must be one of {PATTERNS}")
         if self.rates is None and self.s < 1:
             raise ValueError("need at least one source")
+        if self.curve is not None:
+            kind = self.curve.get("kind", "constant")
+            if kind not in CURVE_KINDS:
+                raise ValueError(f"curve kind must be one of {CURVE_KINDS}")
 
     @property
     def source_rates(self) -> List[float]:
@@ -146,6 +174,44 @@ class ChurnSpec:
 
 
 @dataclass
+class OpenWorldSpec:
+    """Open-world population dynamics over the lazy catchment.
+
+    When enabled, the runner registers ``hierarchy.idle_per_ap`` idle
+    MHs per AP as an un-materialized catchment and an
+    :class:`~repro.workloads.openworld.OpenWorldDriver` activates them
+    as Poisson session arrivals; each session lives a bounded-Pareto
+    (heavy-tailed) duration and then leaves.  The paper's metropolitan
+    population, as traffic rather than as pre-built objects.
+    """
+
+    enabled: bool = False
+    #: Session (member) arrivals per second across the whole network.
+    arrivals_per_sec: float = 50.0
+    #: Mean session length; actual lengths are bounded Pareto.
+    mean_session_ms: float = 1500.0
+    #: Pareto tail index for session lengths (1 < alpha; smaller =
+    #: heavier tail).
+    alpha: float = 1.5
+    #: Hard cap on one session length.
+    max_session_ms: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if self.enabled:
+            if self.arrivals_per_sec <= 0:
+                raise ValueError("arrivals_per_sec must be positive")
+            if self.mean_session_ms <= 0:
+                raise ValueError("mean_session_ms must be positive")
+            if self.alpha <= 1.0:
+                raise ValueError("alpha must be > 1 (finite mean)")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OpenWorldSpec":
+        _check_no_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass
 class FailureEvent:
     """One scheduled fault.
 
@@ -188,11 +254,18 @@ class ExperimentSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     mobility: MobilitySpec = field(default_factory=MobilitySpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+    openworld: OpenWorldSpec = field(default_factory=OpenWorldSpec)
     failures: List[FailureEvent] = field(default_factory=list)
     faults: FaultPlan = field(default_factory=FaultPlan)
     duration_ms: float = 10_000.0
     warmup_ms: float = 2_000.0
     seed: int = 1
+    #: When True the runner replaces ``protocol.mq_retention`` with the
+    #: Theorem 5.1 MQ bound computed by :mod:`repro.analysis.bounds` for
+    #: this spec's shape and workload — delivered history past the
+    #: theorem's sufficiency bound is spilled instead of retained.
+    #: Opt-in: it changes pruning behaviour, hence trace bytes.
+    bound_retention: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -223,6 +296,8 @@ class ExperimentSpec:
             kwargs["mobility"] = MobilitySpec.from_dict(kwargs["mobility"])
         if "churn" in kwargs:
             kwargs["churn"] = ChurnSpec.from_dict(kwargs["churn"])
+        if "openworld" in kwargs:
+            kwargs["openworld"] = OpenWorldSpec.from_dict(kwargs["openworld"])
         if "failures" in kwargs:
             kwargs["failures"] = [FailureEvent.from_dict(f)
                                   for f in kwargs["failures"]]

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Set
 from repro.net.address import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class MemberRecord:
     """What the membership service knows about one group member."""
 
@@ -29,6 +29,9 @@ class GroupView:
     that the Host-View scheme tracks globally — RingNet only needs it at
     the top for group management, not on the data path).
     """
+
+    __slots__ = ("gid", "_members", "version", "joins", "leaves",
+                 "failures", "handoffs")
 
     def __init__(self, gid: str):
         self.gid = gid

@@ -17,16 +17,25 @@ except ImportError:  # pragma: no cover - exercised via monkeypatching
 
 
 def _percentile_py(sorted_vals: List[float], q: float) -> float:
-    """Linear-interpolation percentile matching numpy's default method."""
+    """Linear-interpolation percentile, bit-exact with numpy's default.
+
+    numpy's ``linear`` method lerps as ``b - (b - a) * (1 - t)`` once
+    ``t >= 0.5`` (and ``a + (b - a) * t`` below); mirroring both operand
+    orders keeps results identical to the last float ulp, so reports
+    from numpy-less CI diff clean against numpy-equipped runs.
+    """
     n = len(sorted_vals)
     if n == 1:
         return sorted_vals[0]
-    pos = (n - 1) * min(max(q, 0.0), 100.0) / 100.0
-    lo = math.floor(pos)
-    hi = math.ceil(pos)
-    if lo == hi:
-        return sorted_vals[lo]
-    return sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (pos - lo)
+    pos = (min(max(q, 0.0), 100.0) / 100.0) * (n - 1)
+    lo = int(math.floor(pos))
+    t = pos - lo
+    a = sorted_vals[lo]
+    b = sorted_vals[min(lo + 1, n - 1)]
+    d = b - a
+    if t >= 0.5:
+        return b - d * (1.0 - t)
+    return a + d * t
 
 
 def percentile(values: Sequence[float], q: float) -> float:

@@ -19,7 +19,14 @@ class NetNode:
     Subclasses override :meth:`on_message`.  Construction registers the
     node with the fabric; a node that has been :meth:`crash`-ed neither
     sends nor receives until :meth:`recover`-ed.
+
+    Slotted so fully-slotted leaf subclasses (``MobileHost`` above all —
+    the entity class that exists a million times at the metro rung) pay
+    no per-instance ``__dict__``; subclasses that declare no
+    ``__slots__`` of their own still get a dict and lose nothing.
     """
+
+    __slots__ = ("fabric", "id", "alive", "rx_count", "tx_count")
 
     def __init__(self, fabric: "Fabric", node_id: NodeId):
         self.fabric = fabric

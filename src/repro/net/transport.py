@@ -62,7 +62,7 @@ class SegAck(Message):
         self.seq = seq
 
 
-@dataclass
+@dataclass(slots=True)
 class TransportStats:
     """Counters exposed for the reliability experiments."""
 
@@ -113,6 +113,10 @@ class ReliableChannel:
         segment — the hook the delivery algorithm uses to advance its
         per-child WT (max delivered global sequence number).
     """
+
+    __slots__ = ("node", "rto", "max_retries", "on_give_up", "on_ack",
+                 "stats", "_next_seq", "_outstanding", "_in_flight_by_dst",
+                 "peak_in_flight_by_dst", "_seen_floor", "_seen_sparse")
 
     def __init__(
         self,

@@ -22,7 +22,8 @@ one attribute update; hot loops that observe per message hoist the
 instrument object itself (``hist = obs.hist(...)``) outside the loop.
 
 Histograms are **log-bucketed**: bucket ``b`` holds values in
-``[2^(b-1), 2^b)`` (bucket 0 holds everything ``<= 0``), which keeps a
+``[2^(b-1), 2^b)`` (bucket 0 holds zero; negatives go to a dedicated
+underflow slot), which keeps a
 latency distribution spanning five orders of magnitude in a handful of
 integers and makes per-window snapshots cheap to fold and serialize.
 Quantiles are read back from the bucket upper edges — exact enough to
@@ -77,9 +78,17 @@ class Gauge:
 
 
 class Histogram:
-    """Log-bucketed distribution: bucket ``b`` covers ``[2^(b-1), 2^b)``."""
+    """Log-bucketed distribution: bucket ``b`` covers ``[2^(b-1), 2^b)``.
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    Negative observations land in a dedicated *underflow* slot rather
+    than aliasing into bucket 0 (whose range is ``[0.5, 1)``): a signed
+    metric — a clock skew, a budget delta — would otherwise have its
+    negative tail counted as sub-1.0 positives and every quantile
+    estimate dragged toward 1.0.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "underflow")
 
     def __init__(self, name: str):
         self.name = name
@@ -88,6 +97,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.buckets: Dict[int, int] = {}
+        self.underflow = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -96,8 +106,11 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if value < 0:
+            self.underflow += 1
+            return
         # frexp(v) = (m, e) with v = m * 2**e and 0.5 <= |m| < 1, so e
-        # is exactly the [2^(e-1), 2^e) bucket index; <= 0 pools in 0.
+        # is exactly the [2^(e-1), 2^e) bucket index; 0 pools in 0.
         b = math.frexp(value)[1] if value > 0 else 0
         buckets = self.buckets
         buckets[b] = buckets.get(b, 0) + 1
@@ -107,11 +120,17 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper edge of the bucket holding the ``q``-quantile."""
+        """Upper edge of the bucket holding the ``q``-quantile.
+
+        The underflow slot sorts below every log bucket; its upper edge
+        is 0.0 (every value in it is negative).
+        """
         if not self.count:
             return 0.0
         rank = q * self.count
-        seen = 0
+        seen = self.underflow
+        if seen >= rank and seen:
+            return 0.0
         for b in sorted(self.buckets):
             seen += self.buckets[b]
             if seen >= rank:
@@ -122,7 +141,7 @@ class Histogram:
         """JSON-able summary (bucket keys stringified for stable JSON)."""
         if not self.count:
             return {"count": 0}
-        return {
+        out = {
             "count": self.count,
             "sum": round(self.total, 6),
             "mean": round(self.mean, 6),
@@ -133,6 +152,9 @@ class Histogram:
             "p99": self.quantile(0.99),
             "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
         }
+        if self.underflow:
+            out["underflow"] = self.underflow
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"

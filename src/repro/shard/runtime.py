@@ -573,7 +573,18 @@ def run_sharded(spec: ExperimentSpec, shards: int,
     return result
 
 
-def record_sharded(spec: ExperimentSpec, shards: int) -> List[str]:
-    """Canonical merged JSONL lines of a ``shards``-way run."""
+def record_sharded(spec: ExperimentSpec, shards: int,
+                   stream_path: Optional[str] = None) -> List[str]:
+    """Canonical merged JSONL lines of a ``shards``-way run.
+
+    With ``stream_path`` the merged stream is also written to a
+    (``.gz``-compressed, byte-stable) JSONL file via
+    :func:`repro.sim.trace.write_trace_lines` — the sharded face of the
+    streaming trace sink.
+    """
     result = run_sharded(spec, shards, record=True)
-    return result.merged_lines or []
+    lines = result.merged_lines or []
+    if stream_path is not None:
+        from repro.sim.trace import write_trace_lines
+        write_trace_lines(stream_path, lines)
+    return lines

@@ -230,9 +230,7 @@ class Simulator:
             ev.cancelled = True
             ev.in_heap = False
             return ev
-        heapq.heappush(self._heap, (time, key, ev))
-        if len(self._heap) > self.peak_heap:
-            self.peak_heap = len(self._heap)
+        self._push(time, key, ev)
         return ev
 
     def schedule_keyed(self, time: float, key: int, owner: Any,
@@ -248,10 +246,20 @@ class Simulator:
                 f"cannot import at t={time} before current time t={self.now}"
             )
         ev = Event(time, key, fn, args, owner)
-        heapq.heappush(self._heap, (time, key, ev))
-        if len(self._heap) > self.peak_heap:
-            self.peak_heap = len(self._heap)
+        self._push(time, key, ev)
         return ev
+
+    def _push(self, time: float, key: int, ev: Event) -> None:
+        """Enqueue one live event and track the heap high-water mark.
+
+        The single place heap growth is accounted: every admission path
+        (:meth:`schedule_at`, :meth:`schedule_keyed`) funnels through
+        here, so occupancy counters stay consistent by construction.
+        """
+        heap = self._heap
+        heapq.heappush(heap, (time, key, ev))
+        if len(heap) > self.peak_heap:
+            self.peak_heap = len(heap)
 
     def mint_child_key(self) -> int:
         """Tick the action counter and return the key a

@@ -20,6 +20,8 @@ class Timer:
     never fires more than once per arm.
     """
 
+    __slots__ = ("sim", "fn", "args", "_event")
+
     def __init__(self, sim: Simulator, fn: Callable[..., Any], *args: Any):
         self.sim = sim
         self.fn = fn
@@ -54,6 +56,8 @@ class PeriodicTimer:
     offset by ``phase``), matching the paper's description of the
     Order-Assignment task that "periodically checks its WQ" with cycle τ.
     """
+
+    __slots__ = ("sim", "period", "phase", "fn", "args", "_event", "fires")
 
     def __init__(
         self,

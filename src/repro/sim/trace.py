@@ -1,13 +1,24 @@
-"""Structured trace bus.
+"""Structured trace bus and the canonical trace serialization.
 
 Protocol code emits semantic records (``kind`` + attribute dict); metric
 collectors subscribe by kind.  The bus is intentionally dumb and fast:
 no records are retained unless a subscriber (or the ``record=True`` debug
 mode) asks for them, so tracing costs almost nothing in benchmark runs.
+
+The canonical JSONL form (:func:`record_to_line` /
+:func:`line_to_record`) lives here with the bus so that *every*
+consumer — the validation recorder, the shard merge, the streaming sink
+below — serializes one way.  :class:`StreamingTraceSink` writes that
+form to a compressed file in bounded windows: at million-MH scale a run
+emits far more records than fit in an in-memory ``records`` list, and
+the sink keeps trace memory O(window) instead of O(run length) while
+producing byte-identical lines.
 """
 
 from __future__ import annotations
 
+import gzip
+import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -29,6 +40,165 @@ class TraceRecord:
 
 
 Subscriber = Callable[[TraceRecord], None]
+
+
+# ----------------------------------------------------------------------
+# Canonical (de)serialization
+# ----------------------------------------------------------------------
+def record_to_line(rec: TraceRecord) -> str:
+    """One canonical JSONL line (no trailing newline).
+
+    Attribute tuples serialize as JSON arrays and load back as tuples
+    (the trace vocabulary uses tuples — e.g. ``token_id`` — and never
+    semantically distinguishes list from tuple); keys sort; floats use
+    ``repr`` round-tripping via the stdlib ``json`` module.
+    """
+    return json.dumps({"t": rec.time, "k": rec.kind, "a": rec.attrs},
+                      sort_keys=True, separators=(",", ":"), default=list)
+
+
+def _canonical(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    return value
+
+
+def line_to_record(line: str) -> TraceRecord:
+    """Parse one JSONL line back into a :class:`TraceRecord`."""
+    data = json.loads(line)
+    attrs = {k: _canonical(v) for k, v in data["a"].items()}
+    return TraceRecord(time=float(data["t"]), kind=data["k"], attrs=attrs)
+
+
+# ----------------------------------------------------------------------
+# Streaming sink
+# ----------------------------------------------------------------------
+class StreamingTraceSink:
+    """Stream every bus record to a (compressed) JSONL file, windowed.
+
+    A wildcard subscriber that serializes records with
+    :func:`record_to_line` and writes them out every ``window`` records,
+    so trace memory stays bounded no matter how long the run is.  Paths
+    ending in ``.gz`` are gzip-compressed with ``mtime=0`` — the same
+    byte-stable framing as the committed seed goldens, so a streamed
+    file of an unchanged scenario diffs clean against its golden.
+
+    Use as a context manager (detaches *and* closes on exit), or via
+    :meth:`attach` / :meth:`detach` / :meth:`close` directly::
+
+        sink = StreamingTraceSink(path)
+        with sink.attached(sim.trace):
+            scenario.run()
+        sink.close()
+
+    The attach/detach surface matches
+    :class:`~repro.validation.record.TraceRecorder`, so anything that
+    composes with the recorder — ``observed_scenario`` in particular —
+    takes the sink unchanged.
+    """
+
+    def __init__(self, path: str, window: int = 4096):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.path = path
+        self.window = window
+        self.count = 0
+        self._buffer: List[str] = []
+        self._trace: Optional[TraceBus] = None
+        if path.endswith(".gz"):
+            self._fh = gzip.GzipFile(path, "wb", mtime=0)
+        else:
+            self._fh = open(path, "wb")
+        self._closed = False
+
+    # -- subscription lifecycle ----------------------------------------
+    def attach(self, trace: TraceBus) -> "StreamingTraceSink":
+        if self._trace is not None:
+            raise RuntimeError("sink is already attached")
+        if self._closed:
+            raise RuntimeError("sink is closed")
+        self._trace = trace
+        trace.subscribe(None, self._on_record)
+        return self
+
+    def detach(self) -> None:
+        if self._trace is not None:
+            self._trace.unsubscribe(None, self._on_record)
+            self._trace = None
+
+    @contextmanager
+    def attached(self, trace: TraceBus) -> Iterator["StreamingTraceSink"]:
+        """Scoped attach: detaches (but does not close) on exit."""
+        self.attach(trace)
+        try:
+            yield self
+        finally:
+            self.detach()
+
+    def __enter__(self) -> "StreamingTraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+        self.close()
+
+    # -- record flow ----------------------------------------------------
+    def _on_record(self, rec: TraceRecord) -> None:
+        buf = self._buffer
+        buf.append(record_to_line(rec))
+        self.count += 1
+        if len(buf) >= self.window:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered window out (file stays open)."""
+        if self._buffer:
+            data = "".join(line + "\n" for line in self._buffer)
+            self._fh.write(data.encode("utf-8"))
+            self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush the tail window and close the file (idempotent)."""
+        if not self._closed:
+            self.detach()
+            self.flush()
+            self._fh.close()
+            self._closed = True
+
+
+def read_trace_lines(path: str) -> List[str]:
+    """Canonical lines from a JSONL file, transparently gunzipping."""
+    opener = gzip.open if path.endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as fh:
+        return [line.rstrip("\n") for line in fh if line.strip()]
+
+
+def write_trace_lines(path: str, lines, window: int = 4096) -> int:
+    """Write pre-serialized canonical lines to ``path`` in windows.
+
+    The file-format twin of :class:`StreamingTraceSink` for producers
+    that already hold lines rather than a live bus — the sharded merge,
+    chiefly.  ``lines`` may be any iterable; at most ``window`` lines
+    are buffered.  Returns the line count.
+    """
+    if path.endswith(".gz"):
+        fh = gzip.GzipFile(path, "wb", mtime=0)
+    else:
+        fh = open(path, "wb")
+    n = 0
+    buf: List[str] = []
+    with fh:
+        for line in lines:
+            buf.append(line)
+            n += 1
+            if len(buf) >= window:
+                fh.write("".join(l + "\n" for l in buf).encode("utf-8"))
+                buf.clear()
+        if buf:
+            fh.write("".join(l + "\n" for l in buf).encode("utf-8"))
+    return n
 
 
 class TraceBus:

@@ -21,35 +21,16 @@ never semantically distinguishes list from tuple), keys sort, floats use
 
 from __future__ import annotations
 
-import json
+import gzip
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, TextIO, Union
 
-from repro.sim.trace import TraceBus, TraceRecord
-
-
-# ----------------------------------------------------------------------
-# Canonical (de)serialization
-# ----------------------------------------------------------------------
-def record_to_line(rec: TraceRecord) -> str:
-    """One canonical JSONL line (no trailing newline)."""
-    return json.dumps({"t": rec.time, "k": rec.kind, "a": rec.attrs},
-                      sort_keys=True, separators=(",", ":"), default=list)
-
-
-def _canonical(value: Any) -> Any:
-    if isinstance(value, list):
-        return tuple(_canonical(v) for v in value)
-    if isinstance(value, dict):
-        return {k: _canonical(v) for k, v in value.items()}
-    return value
-
-
-def line_to_record(line: str) -> TraceRecord:
-    """Parse one JSONL line back into a :class:`TraceRecord`."""
-    data = json.loads(line)
-    attrs = {k: _canonical(v) for k, v in data["a"].items()}
-    return TraceRecord(time=float(data["t"]), kind=data["k"], attrs=attrs)
+# The canonical (de)serialization lives beside the bus in
+# ``repro.sim.trace`` (shared with the streaming sink and the shard
+# merge); re-exported here because this module is its historical home.
+from repro.sim.trace import (StreamingTraceSink, TraceBus, TraceRecord,
+                             _canonical, line_to_record, read_trace_lines,
+                             record_to_line)
 
 
 # ----------------------------------------------------------------------
@@ -126,9 +107,10 @@ def write_jsonl(path: str, records: Iterable[TraceRecord]) -> int:
 
 
 def read_jsonl(path: str) -> List[TraceRecord]:
-    """Load a recorded stream back into memory."""
+    """Load a recorded stream back into memory (``.gz`` transparent)."""
+    opener = gzip.open if path.endswith(".gz") else open
     out: List[TraceRecord] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    with opener(path, "rt", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
@@ -206,16 +188,33 @@ def first_divergence(
 # ----------------------------------------------------------------------
 # Convenience: record a spec's full run
 # ----------------------------------------------------------------------
-def record_spec(spec) -> TraceRecorder:
+def record_spec(spec, stream_path: Optional[str] = None,
+                window: int = 4096):
     """Build and run ``spec``, recording the complete trace stream.
 
     Uses :func:`repro.validation.suite.observed_scenario`, so the
     recorder attaches before construction and build-time records
-    (initial MH joins) are part of the stream.  Returns the detached
-    recorder (``.lines`` / ``.to_jsonl()``).
+    (initial MH joins) are part of the stream.
+
+    With the default ``stream_path=None`` the whole stream is held in
+    memory: returns the detached :class:`TraceRecorder` (``.lines`` /
+    ``.to_jsonl()``).  Given a path, the stream is instead written
+    incrementally through a :class:`~repro.sim.trace.StreamingTraceSink`
+    (``.gz`` compressed when the path says so) and the closed sink is
+    returned — read the lines back with
+    :func:`~repro.sim.trace.read_trace_lines`.  Both paths serialize
+    through :func:`record_to_line`, so the bytes are identical.
     """
     from repro.validation.suite import observed_scenario
-    rec = TraceRecorder()
-    with observed_scenario(spec, rec) as scenario:
-        scenario.run()
-    return rec
+    if stream_path is None:
+        rec = TraceRecorder()
+        with observed_scenario(spec, rec) as scenario:
+            scenario.run()
+        return rec
+    sink = StreamingTraceSink(stream_path, window=window)
+    try:
+        with observed_scenario(spec, sink) as scenario:
+            scenario.run()
+    finally:
+        sink.close()
+    return sink

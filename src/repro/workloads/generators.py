@@ -1,9 +1,85 @@
-"""Source fleets: the s × λ workload of the performance analysis (§5)."""
+"""Source fleets: the s × λ workload of the performance analysis (§5).
+
+Beyond the paper's constant-rate fleets, :class:`RateCurve` describes
+spec-level *time-varying* load — diurnal sinusoids and flash-crowd
+ramps — resolved here into plain ``time → factor`` functions that
+:class:`~repro.core.source.MulticastSource` samples at emission times.
+Deterministic by construction: a curve is pure arithmetic on simulated
+time, so it needs no RNG and cannot perturb trace identity of
+constant-rate scenarios.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RateCurve:
+    """A deterministic rate-factor curve over simulated time (ms).
+
+    ``kind``:
+
+    * ``constant`` — always ``1.0``.
+    * ``diurnal`` — ``1 + amplitude·sin(2π·(t/period_ms + phase))``,
+      clamped at 0: the day/night load cycle, compressed to whatever
+      period the scenario can afford.
+    * ``flash`` — a flash crowd: baseline 1.0 until ``at_ms``, linear
+      ramp to ``peak_factor`` over ``ramp_ms``, hold for ``hold_ms``,
+      linear decay back over ``decay_ms``.
+    """
+
+    kind: str = "constant"
+    period_ms: float = 2000.0
+    amplitude: float = 0.5
+    phase: float = 0.0
+    at_ms: float = 0.0
+    ramp_ms: float = 200.0
+    peak_factor: float = 5.0
+    hold_ms: float = 500.0
+    decay_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("constant", "diurnal", "flash"):
+            raise ValueError(f"unknown curve kind {self.kind!r}")
+        if self.kind == "diurnal" and self.period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        if self.kind == "flash" and self.peak_factor < 1.0:
+            raise ValueError("peak_factor must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RateCurve":
+        return cls(**dict(data))
+
+    def factor(self, t: float) -> float:
+        """The rate multiplier at simulated time ``t`` (ms)."""
+        if self.kind == "diurnal":
+            x = 1.0 + self.amplitude * math.sin(
+                2.0 * math.pi * (t / self.period_ms + self.phase))
+            return x if x > 0.0 else 0.0
+        if self.kind == "flash":
+            dt = t - self.at_ms
+            if dt < 0.0:
+                return 1.0
+            if dt < self.ramp_ms:
+                return 1.0 + (self.peak_factor - 1.0) * (dt / self.ramp_ms)
+            dt -= self.ramp_ms
+            if dt < self.hold_ms:
+                return self.peak_factor
+            dt -= self.hold_ms
+            if dt < self.decay_ms:
+                return self.peak_factor - (self.peak_factor - 1.0) * (
+                    dt / self.decay_ms)
+            return 1.0
+        return 1.0
+
+    def as_fn(self) -> Optional[Callable[[float], float]]:
+        """This curve as a source ``rate_fn`` (None when constant)."""
+        if self.kind == "constant":
+            return None
+        return self.factor
 
 
 @dataclass
@@ -44,21 +120,26 @@ class SourceFleet:
 
 
 def uniform_sources(net, s: int, rate_per_sec: float,
-                    pattern: str = "cbr") -> SourceFleet:
+                    pattern: str = "cbr", **extra) -> SourceFleet:
     """Attach ``s`` equal-rate sources round-robin over the top ring.
 
     Works with any facade exposing ``add_source`` (RingNet and the
     unordered baseline).  The paper assumes s ≤ r (at most one source
     per top-ring node); this helper enforces it.
     """
-    return weighted_sources(net, [rate_per_sec] * s, pattern=pattern)
+    return weighted_sources(net, [rate_per_sec] * s, pattern=pattern,
+                            **extra)
 
 
 def weighted_sources(net, rates: Sequence[float],
-                     pattern: str = "cbr") -> SourceFleet:
+                     pattern: str = "cbr", **extra) -> SourceFleet:
     """Attach one source per entry of ``rates``, round-robin over the
     top ring — the heterogeneous/hotspot workload (e.g. one dominant
     sender at 60 msg/s and a tail of 10 msg/s commenters).
+
+    Extra keyword arguments (``rate_fn``, ``flows``) pass through to
+    ``net.add_source`` — only supply them for facades whose sources
+    understand them (RingNet).
 
     Like :func:`uniform_sources`, enforces the paper's s ≤ r assumption.
     """
@@ -72,6 +153,6 @@ def weighted_sources(net, rates: Sequence[float],
     for i, rate in enumerate(rates):
         fleet.sources.append(
             net.add_source(corresponding=top[i], rate_per_sec=rate,
-                           pattern=pattern)
+                           pattern=pattern, **extra)
         )
     return fleet

@@ -24,6 +24,7 @@ from repro.mobility.models import MobilityModel
 from repro.sim.engine import Simulator
 from repro.workloads.churn import ChurnDriver
 from repro.workloads.generators import SourceFleet
+from repro.workloads.openworld import OpenWorldDriver
 
 
 @dataclass
@@ -36,6 +37,9 @@ class Scenario:
     grid: Optional[CellGrid] = None
     mobility: Optional[HandoffDriver] = None
     churn: Optional[ChurnDriver] = None
+    #: Session arrivals over the lazy catchment, when the spec enables
+    #: the open-world workload.
+    openworld: Optional[OpenWorldDriver] = None
     #: The scheduled :class:`~repro.faults.driver.FaultDriver` when the
     #: spec carries a fault plan (events are armed at build time).
     faults: Optional[object] = None
@@ -57,6 +61,8 @@ class Scenario:
                     self.mobility.track(mh_id, mh.ap)
         if self.churn is not None:
             self.churn.start()
+        if self.openworld is not None:
+            self.openworld.start()
 
     def run(self, until: Optional[float] = None) -> None:
         """Start everything and run to ``until`` (or the duration)."""

@@ -49,6 +49,17 @@ def test_get_rung_accepts_long_form_aliases():
     assert get_rung(" Small ") is get_rung("s")  # whitespace + case
 
 
+def test_scale_rungs_are_opt_in_and_count_idle_population():
+    from repro.bench.ladder import DEFAULT_RUNGS
+
+    assert "xxl" not in DEFAULT_RUNGS and "metro" not in DEFAULT_RUNGS
+    assert get_rung("million") is get_rung("metro")
+    xxl = node_counts(rung_spec(get_rung("xxl")))
+    assert xxl["mhs"] > 100_000  # declared = eager + idle catchment
+    metro = node_counts(rung_spec(get_rung("metro")))
+    assert metro["total"] > 1_000_000
+
+
 def test_node_counts_depth1_formula():
     spec = registry.get("quickstart")  # n_br=3, ags=2, aps=2, mhs=2
     counts = node_counts(spec)
@@ -219,6 +230,37 @@ def test_delta_zero_baseline_is_infinite_improvement():
     d = Delta("x", current=10.0, baseline=0.0)
     assert d.ratio == float("inf")
     assert not d.regressed(0.2)
+
+
+def test_compare_gates_peak_rss_growth():
+    """Matched entries with peak_rss on both sides also gate memory:
+    growth beyond mem_threshold fails, shrinkage never does."""
+    mib = 1 << 20
+    cur = _report({"xs": 100.0})
+    base = _report({"xs": 100.0})
+    cur["results"][0]["peak_rss"] = 160 * mib
+    base["results"][0]["peak_rss"] = 100 * mib
+    cmp = compare_reports(cur, base, mem_threshold=0.50)
+    assert not cmp.ok
+    (bad,) = cmp.regressions
+    assert bad.metric == "peak_rss"
+    assert "MiB" in bad.describe()
+    # Within the memory threshold: fine.
+    cur["results"][0]["peak_rss"] = 140 * mib
+    assert compare_reports(cur, base, mem_threshold=0.50).ok
+    # Shrinking memory is never a regression, whatever the threshold.
+    cur["results"][0]["peak_rss"] = 10 * mib
+    assert compare_reports(cur, base, mem_threshold=0.0).ok
+
+
+def test_compare_old_baselines_without_rss_skip_memory_gate():
+    mib = 1 << 20
+    cur = _report({"xs": 100.0})
+    cur["results"][0]["peak_rss"] = 500 * mib
+    base = _report({"xs": 100.0})  # pre-RSS baseline: no peak_rss key
+    cmp = compare_reports(cur, base, mem_threshold=0.0)
+    assert cmp.ok
+    assert all(d.metric != "peak_rss" for d in cmp.deltas)
 
 
 def test_comparison_report_to_dict_round_trips():

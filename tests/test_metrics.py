@@ -29,6 +29,45 @@ def test_percentile_basic():
     assert percentile([1, 2, 3, 4, 5], 50) == 3.0
 
 
+def test_percentile_py_matches_numpy_exactly():
+    np = pytest.importorskip("numpy")
+    from repro.metrics.report import _percentile_py
+
+    samples = [
+        [7.25],                                   # single element
+        [1.0, 1.0, 1.0, 1.0],                     # all duplicates
+        [0.0, 0.1, 0.1, 0.2, 5.0, 5.0, 5.0],      # clustered duplicates
+        [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0],
+        list(range(100)),
+        [1e-9, 2e-9, 3.0000000001, 1e12],
+    ]
+    for vals in samples:
+        s = sorted(float(v) for v in vals)
+        for q in (0, 50, 95, 99, 100):
+            expect = float(np.percentile(np.asarray(s), q))
+            assert _percentile_py(s, q) == expect, (vals, q)
+
+
+@pytest.mark.parametrize("q", [0, 50, 95, 99, 100])
+def test_percentile_py_matches_numpy_property(q):
+    np = pytest.importorskip("numpy")
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import given, settings, strategies as st
+
+    from repro.metrics.report import _percentile_py
+
+    @given(st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def check(vals):
+        s = sorted(vals)
+        assert _percentile_py(s, q) == float(np.percentile(np.asarray(s), q))
+
+    check()
+
+
 def test_summarize_keys():
     s = summarize([1.0, 2.0, 3.0])
     assert s["mean"] == 2.0

@@ -1,0 +1,166 @@
+"""Open-world traffic: rate curves, heavy-tailed flows, arrival driver.
+
+Covers the spec-level pieces (RateCurve arithmetic, FlowProfile
+sampling, runner wiring incl. the Theorem 5.1 retention bound) and an
+end-to-end run of the ``open_world`` registry scenario where endpoints
+materialize lazily on first arrival.  Trace identity of these scenarios
+at shards 1/2/4 is pinned separately in test_trace_identity.py.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import bounds_for
+from repro.core.source import FlowProfile
+from repro.experiments import registry
+from repro.experiments.runner import build_scenario
+from repro.net.link import WIRED, WIRELESS
+from repro.workloads.generators import RateCurve
+
+
+# ---------------------------------------------------------------------------
+# RateCurve
+# ---------------------------------------------------------------------------
+def test_constant_curve_is_identity_and_compiles_to_none():
+    c = RateCurve()
+    assert c.factor(0.0) == 1.0
+    assert c.factor(12345.6) == 1.0
+    assert c.as_fn() is None  # constant => sources skip the indirection
+
+
+def test_diurnal_curve_oscillates_and_clamps_at_zero():
+    c = RateCurve(kind="diurnal", period_ms=1000.0, amplitude=0.5)
+    assert c.factor(0.0) == pytest.approx(1.0)
+    assert c.factor(250.0) == pytest.approx(1.5)   # peak of the sine
+    assert c.factor(750.0) == pytest.approx(0.5)   # trough
+    deep = RateCurve(kind="diurnal", period_ms=1000.0, amplitude=2.0)
+    assert deep.factor(750.0) == 0.0  # clamped, never negative
+
+
+def test_flash_crowd_curve_is_piecewise_linear():
+    c = RateCurve(kind="flash", at_ms=100.0, ramp_ms=100.0,
+                  peak_factor=5.0, hold_ms=200.0, decay_ms=100.0)
+    assert c.factor(0.0) == 1.0                      # baseline
+    assert c.factor(150.0) == pytest.approx(3.0)     # mid-ramp
+    assert c.factor(250.0) == 5.0                    # holding
+    assert c.factor(450.0) == pytest.approx(3.0)     # mid-decay
+    assert c.factor(600.0) == 1.0                    # back to baseline
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        RateCurve(kind="square")
+    with pytest.raises(ValueError):
+        RateCurve(kind="diurnal", period_ms=0.0)
+    with pytest.raises(ValueError):
+        RateCurve(kind="flash", peak_factor=0.5)
+
+
+def test_curve_from_dict_round_trips_spec_payload():
+    c = RateCurve.from_dict({"kind": "flash", "at_ms": 800.0,
+                             "peak_factor": 6.0})
+    assert c.kind == "flash"
+    assert c.peak_factor == 6.0
+    assert c.as_fn() is not None
+
+
+# ---------------------------------------------------------------------------
+# FlowProfile
+# ---------------------------------------------------------------------------
+def test_flow_sizes_are_bounded_pareto_with_requested_mean():
+    prof = FlowProfile(arrivals_per_sec=5.0, size_mean=8.0, alpha=1.5,
+                       size_max=500)
+    rng = np.random.default_rng(7)
+    sizes = [prof.draw_size(rng) for _ in range(4000)]
+    assert min(sizes) >= 1
+    assert max(sizes) <= 500
+    # Heavy-tailed: the truncated sample mean sits near (below) the
+    # nominal unbounded mean, and elephants dwarf the median.
+    assert 3.0 < sum(sizes) / len(sizes) < 12.0
+    assert max(sizes) > 10 * sorted(sizes)[len(sizes) // 2]
+
+
+def test_flow_profile_validation():
+    with pytest.raises(ValueError):
+        FlowProfile(arrivals_per_sec=0.0)
+    with pytest.raises(ValueError):
+        FlowProfile(alpha=1.0)  # infinite mean
+    with pytest.raises(ValueError):
+        FlowProfile(size_mean=0.5)
+
+
+# ---------------------------------------------------------------------------
+# Runner wiring
+# ---------------------------------------------------------------------------
+def test_bound_retention_pins_mq_retention_to_theorem_bound():
+    spec = registry.get("open_world")
+    assert spec.bound_retention
+    scenario = build_scenario(spec)
+    cfg = scenario.net.cfg
+    rates = list(spec.workload.source_rates)
+    bounds = bounds_for(cfg, ring_size=spec.hierarchy.n_br,
+                        n_sources=len(rates), rate_per_sec=max(rates),
+                        wired=WIRED, wireless=WIRELESS,
+                        tree_depth=3 if spec.hierarchy.depth == 1
+                        else spec.hierarchy.depth + 2)
+    assert cfg.mq_retention == max(1, math.ceil(bounds.mq_bound_msgs))
+    # The bound actually bites: far below the safe-default retention.
+    from repro.core.config import ProtocolConfig
+    assert cfg.mq_retention < ProtocolConfig().mq_retention
+
+
+def test_openworld_extras_require_ringnet():
+    with pytest.raises(ValueError, match="ringnet"):
+        build_scenario(registry.get("diurnal", **{"system": "unordered"}))
+    with pytest.raises(ValueError, match="ringnet"):
+        build_scenario(registry.get("open_world", **{"system": "unordered"}))
+
+
+# ---------------------------------------------------------------------------
+# OpenWorldDriver end to end
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def openworld_run():
+    spec = registry.get("open_world", **{"duration_ms": 3000.0,
+                                         "warmup_ms": 0.0})
+    scenario = build_scenario(spec)
+    scenario.run()
+    return scenario
+
+
+def test_driver_materializes_endpoints_lazily(openworld_run):
+    net = openworld_run.net
+    drv = openworld_run.openworld
+    assert drv is not None
+    assert drv.sessions > 0, "no arrivals in 3s at 25/s is implausible"
+    # Only endpoints that actually arrived exist as objects.
+    assert 0 < net.catchment_materialized <= drv.sessions
+    assert net.catchment_idle == (net.catchment_total
+                                  - net.catchment_materialized)
+    assert net.catchment_idle > 0, "3s of arrivals should not drain 96 slots"
+
+
+def test_driver_session_accounting(openworld_run):
+    drv = openworld_run.openworld
+    assert drv.departures <= drv.sessions
+    # Every arrive/depart pair in the log names a catchment-minted MH.
+    assert drv.log
+    for _t, kind, mh_id in drv.log:
+        assert kind in ("arrive", "depart")
+        assert mh_id.startswith("mh:")
+    arrives = sum(1 for _, k, _m in drv.log if k == "arrive")
+    departs = sum(1 for _, k, _m in drv.log if k == "depart")
+    assert (arrives, departs) == (drv.sessions, drv.departures)
+    times = [t for t, _k, _m in drv.log]
+    assert times == sorted(times)
+
+
+def test_arrived_endpoints_rejoin_the_multicast_group(openworld_run):
+    net = openworld_run.net
+    # A materialized catchment MH is a first-class protocol participant:
+    # it exists in the roster and has seen membership activity.
+    minted = [mh for mh_id, mh in net.mobile_hosts.items()
+              if ".c" in mh_id]
+    assert minted, "no catchment MH was ever materialized"

@@ -72,6 +72,52 @@ def test_trace_byte_identical_to_seed(name):
         f"{div.describe()}")
 
 
+@pytest.mark.parametrize("name", registry.names())
+def test_streamed_trace_byte_identical_to_seed(name, tmp_path):
+    """The streaming sink writes exactly the lines the recorder keeps.
+
+    Same run as above but through ``record_spec(stream_path=...)`` — the
+    windowed gzip sink — then read back from disk.  A small window
+    forces many flush boundaries inside every scenario.
+    """
+    from repro.sim.trace import read_trace_lines
+
+    duration = DURATIONS.get(name, DEFAULT_DURATION)
+    spec = registry.get(name)
+    overrides = {"duration_ms": duration}
+    if spec.warmup_ms >= duration:
+        overrides["warmup_ms"] = duration / 2
+    path = str(tmp_path / f"{name}.jsonl.gz")
+    sink = record_spec(spec.with_overrides(overrides), stream_path=path,
+                       window=256)
+    div = first_divergence(golden_lines(name), read_trace_lines(path))
+    assert div is None, (
+        f"{name} streamed trace diverged from its seed-commit trace at "
+        f"{div.describe()}")
+    assert sink.count == len(golden_lines(name))
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_streamed_trace_byte_identical(shards, tmp_path):
+    """Sharded runs stream their merged lines byte-identically too.
+
+    The sharded stream writes the same merged-lines object the stream-off
+    sharded identity test (below, full 18-scenario matrix) already
+    compares, so one scenario per shard count suffices to cover the
+    write-and-read-back path.
+    """
+    from repro.shard import record_sharded
+    from repro.sim.trace import read_trace_lines
+
+    spec = registry.get("quickstart").with_overrides(
+        {"duration_ms": DEFAULT_DURATION})
+    path = str(tmp_path / "quickstart.jsonl.gz")
+    lines = record_sharded(spec, shards, stream_path=path)
+    assert read_trace_lines(path) == lines
+    div = first_divergence(golden_lines("quickstart"), lines)
+    assert div is None, div and div.describe()
+
+
 @pytest.mark.parametrize("shards", [2, 4])
 @pytest.mark.parametrize("name", registry.names())
 def test_sharded_trace_byte_identical_to_sequential(name, shards):
