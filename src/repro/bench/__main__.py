@@ -68,6 +68,8 @@ def _print_comparison(cmp, threshold: float, current_label: str,
         print(f"  {only}: only in {current_label} (skipped)")
     for only in cmp.only_baseline:
         print(f"  {only}: only in {baseline_label} (skipped)")
+    for name in cmp.mem_skipped:
+        print(f"  {name}: memory gate skipped (old baseline)")
     if not cmp.ok:
         print(f"FAIL: {len(cmp.regressions)} entries regressed more than "
               f"{threshold:.0%} vs {baseline_label}")

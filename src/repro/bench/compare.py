@@ -78,6 +78,9 @@ class ComparisonReport:
     deltas: List[Delta] = field(default_factory=list)
     only_current: List[str] = field(default_factory=list)
     only_baseline: List[str] = field(default_factory=list)
+    #: Matched entries measured for memory now but whose baseline
+    #: predates ``peak_rss`` — their memory gate was skipped.
+    mem_skipped: List[str] = field(default_factory=list)
 
     #: Which rate the deltas were computed on.
     metric: str = "events_per_sec"
@@ -103,6 +106,7 @@ class ComparisonReport:
             ],
             "only_current": list(self.only_current),
             "only_baseline": list(self.only_baseline),
+            "mem_skipped": list(self.mem_skipped),
         }
 
 
@@ -170,4 +174,8 @@ def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
                                        metric="peak_rss",
                                        lower_is_better=True,
                                        threshold=mem_threshold))
+        elif name in base:
+            # Measured now, but the baseline predates peak_rss: say so
+            # explicitly rather than silently not gating memory.
+            report.mem_skipped.append(name)
     return report

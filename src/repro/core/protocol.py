@@ -36,7 +36,7 @@ from repro.core.token import OrderingToken
 from repro.net.address import NodeId, make_id
 from repro.net.fabric import Fabric
 from repro.net.link import LinkSpec, WIRED, WIRELESS
-from repro.sim.engine import Simulator
+from repro.runtime.api import Runtime
 from repro.topology.builder import (
     HierarchySpec,
     build_hierarchy,
@@ -58,7 +58,7 @@ class RingNet:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Runtime,
         fabric: Fabric,
         hierarchy: Hierarchy,
         cfg: Optional[ProtocolConfig] = None,
@@ -91,15 +91,22 @@ class RingNet:
     @classmethod
     def build(
         cls,
-        sim: Simulator,
+        sim: Runtime,
         spec: HierarchySpec,
         cfg: Optional[ProtocolConfig] = None,
         wired: LinkSpec = WIRED,
         wireless: LinkSpec = WIRELESS,
         attach_mhs: bool = True,
+        fabric: Optional[Fabric] = None,
     ) -> "RingNet":
-        """One-call construction: hierarchy, links, NEs, and MHs."""
-        fabric = Fabric(sim)
+        """One-call construction: hierarchy, links, NEs, and MHs.
+
+        ``fabric`` lets a backend supply its own transmission substrate
+        (the live backend passes a queue- or socket-backed fabric); the
+        default is the plain scheduler-dispatched :class:`Fabric`.
+        """
+        if fabric is None:
+            fabric = Fabric(sim)
         hierarchy = build_hierarchy(spec)
         provision_links(fabric, hierarchy, wired=wired, wireless=wireless)
         net = cls(sim, fabric, hierarchy, cfg=cfg, wireless=wireless)

@@ -429,6 +429,32 @@ def _open_world() -> ExperimentSpec:
     )
 
 
+@register("open_world_mobile",
+          "open-world arrivals that roam: session churn + handoff "
+          "mobility over a mostly idle catchment")
+def _open_world_mobile() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="open_world_mobile",
+        description="the xxl catchment shape in miniature: each AP "
+                    "fronts a mostly idle catchment (1 resident + 24 "
+                    "registered slots), Poisson session arrivals "
+                    "materialize lazily and random-walk across cells "
+                    "while in session, stopping where they stand on "
+                    "departure — open-world membership and frequent "
+                    "handoff exercised together",
+        hierarchy=HierarchyShape(n_br=3, ags_per_br=2, aps_per_ag=2,
+                                 mhs_per_ap=1, idle_per_ap=24),
+        workload=WorkloadSpec(s=2, rate_per_sec=20.0),
+        mobility=MobilitySpec(enabled=True, model="random_walk",
+                              mean_dwell_ms=600.0),
+        openworld=OpenWorldSpec(enabled=True, arrivals_per_sec=20.0,
+                                mean_session_ms=1_200.0,
+                                max_session_ms=5_000.0),
+        bound_retention=True,
+        duration_ms=8_000.0, warmup_ms=1_000.0, seed=83,
+    )
+
+
 @register("flash_crowd",
           "a 6x flash-crowd rate spike ramps, holds, and decays")
 def _flash_crowd() -> ExperimentSpec:

@@ -87,9 +87,14 @@ def _bounded_cfg(cfg: ProtocolConfig,
                    mq_retention=max(1, math.ceil(bounds.mq_bound_msgs)))
 
 
-def _build_net(sim: Simulator, spec: ExperimentSpec):
+def _build_net(sim: Simulator, spec: ExperimentSpec,
+               fabric: Optional[Fabric] = None):
     shape = spec.hierarchy
     cfg = spec.protocol_config()
+    if fabric is not None and spec.system != "ringnet":
+        raise ValueError(
+            "a custom fabric (live backend) requires the ringnet system, "
+            f"not {spec.system!r}")
     if spec.bound_retention:
         if spec.system != "ringnet":
             raise ValueError(
@@ -117,7 +122,8 @@ def _build_net(sim: Simulator, spec: ExperimentSpec):
                                mhs_per_ap=shape.mhs_per_ap),
             rto=cfg.rto, max_retries=cfg.max_retries)
     if shape.depth > 1:
-        fabric = Fabric(sim)
+        if fabric is None:
+            fabric = Fabric(sim)
         h = build_deep_hierarchy(n_br=shape.n_br, ring_size=shape.ring_size,
                                  depth=shape.depth,
                                  aps_per_ag=shape.aps_per_ag,
@@ -131,7 +137,7 @@ def _build_net(sim: Simulator, spec: ExperimentSpec):
         sim, HierarchySpec(n_br=shape.n_br, ags_per_br=shape.ags_per_br,
                            aps_per_ag=shape.aps_per_ag,
                            mhs_per_ap=shape.mhs_per_ap),
-        cfg=cfg)
+        cfg=cfg, fabric=fabric)
 
 
 def _mobility_model(spec: ExperimentSpec):
@@ -193,20 +199,23 @@ def _schedule_failures(sim: Simulator, net, spec: ExperimentSpec) -> None:
 
 
 def build_scenario(spec: ExperimentSpec,
-                   sim: Optional[Simulator] = None) -> Scenario:
-    """Materialize a spec: simulator, protocol, workload, dynamics.
+                   sim: Optional[Simulator] = None,
+                   fabric: Optional[Fabric] = None) -> Scenario:
+    """Materialize a spec: runtime, protocol, workload, dynamics.
 
     Pass a pre-created ``sim`` (seeded with ``spec.seed``) to observe
     construction-time trace records — initial MH joins happen while the
     network is built, so monitors that care must subscribe before this
-    call.
+    call.  ``sim`` may be any :class:`~repro.runtime.api.Runtime`; the
+    live backend passes a :class:`~repro.live.runtime.LiveRuntime`
+    together with a queue- or socket-backed ``fabric`` (ringnet only).
     """
     if sim is None:
         sim = Simulator(seed=spec.seed)
     elif sim.seed != spec.seed:
         raise ValueError(
             f"pre-built simulator seed {sim.seed} != spec seed {spec.seed}")
-    net = _build_net(sim, spec)
+    net = _build_net(sim, spec, fabric=fabric)
 
     wl = spec.workload
     extra: Dict[str, Any] = {}
@@ -262,7 +271,8 @@ def build_scenario(spec: ExperimentSpec,
             arrivals_per_sec=ow.arrivals_per_sec,
             mean_session_ms=ow.mean_session_ms,
             alpha=ow.alpha,
-            max_session_ms=ow.max_session_ms)
+            max_session_ms=ow.max_session_ms,
+            mobility=mobility)
 
     if spec.failures:
         _schedule_failures(sim, net, spec)

@@ -1,0 +1,327 @@
+"""The wall-clock :class:`~repro.runtime.api.Runtime` over asyncio.
+
+Timing model
+------------
+Deadlines are *logical milliseconds since run start*, mapped onto the
+event loop's monotonic clock by ``wall = start + deadline·time_scale``.
+``time_scale`` is wall seconds per logical second: ``1.0`` is real time,
+``0.1`` replays the same logical schedule ten times faster (useful for
+CI smoke runs — logical timestamps, and therefore every trace record
+and metric, are unchanged).
+
+Drift correction: while a scheduled callback executes, :attr:`now`
+reads the callback's *scheduled deadline*, not the (slightly later)
+wall instant it actually ran at.  A :class:`~repro.runtime.timers.
+PeriodicTimer` that re-arms with ``schedule(period)`` therefore ticks
+on the absolute grid ``phase + k·period`` — lateness of one tick never
+leaks into the next, matching the sim engine's semantics exactly.  The
+wall lateness itself is tracked (:attr:`max_lag_ms`, :attr:`lag_sum_ms`)
+so a run report can show how far behind the loop fell.
+
+Outside callbacks, :attr:`now` is the wall-derived logical time.
+Services (socket fabrics, queue pumps) injecting work from their own
+tasks use :meth:`run_inline` so protocol code still executes with a
+consistent frozen clock and owner context.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.runtime.api import _INHERIT, Runtime
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceBus
+
+
+class LiveHandle:
+    """A scheduled live callback; satisfies the seam's handle contract
+    (a ``cancelled`` attribute is all the timers inspect)."""
+
+    __slots__ = ("time", "fn", "args", "owner", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple,
+                 owner: Optional[str]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.owner = owner
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<LiveHandle t={self.time:.6g} {name} {state}>"
+
+
+class LiveRuntime(Runtime):
+    """Wall-clock runtime: logical-deadline heap paced by asyncio.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named random streams — the same derivation
+        as the sim engine, so a live run draws the same per-stream
+        sequences the sim would (the differential harness depends on
+        this).
+    time_scale:
+        Wall seconds per logical second (default 1.0 = real time).
+    trace:
+        Optional pre-built :class:`TraceBus`.
+    """
+
+    def __init__(self, seed: int = 0, time_scale: float = 1.0,
+                 trace: Optional[TraceBus] = None):
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.seed = seed
+        self.time_scale = time_scale
+        self.streams = RandomStreams(seed)
+        self.trace = trace if trace is not None else TraceBus()
+        self.trace._sim = self
+        self._heap: List[Tuple[float, int, LiveHandle]] = []
+        self._seq = 0
+        self._ctx_owner: Optional[str] = None
+        #: Scheduled deadline of the executing callback (None outside).
+        self._frozen: Optional[float] = None
+        #: Logical clock before the loop starts / after it finishes.
+        self._now = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wall0 = 0.0
+        self._wake: Optional[asyncio.Event] = None
+        self._stopped = False
+        self._services: List[Any] = []
+        # Run accounting.
+        self.events_processed = 0
+        self.max_lag_ms = 0.0
+        self.lag_sum_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Logical time (ms): frozen deadline inside callbacks,
+        wall-derived between them, last horizon when not running."""
+        if self._frozen is not None:
+            return self._frozen
+        if self._loop is None:
+            return self._now
+        return (self._loop.time() - self._wall0) * 1000.0 / self.time_scale
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 owner: Any = _INHERIT) -> LiveHandle:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args, owner=owner)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    owner: Any = _INHERIT) -> LiveHandle:
+        """Schedule at an absolute logical time.
+
+        Unlike the sim engine, a deadline already in the past is not an
+        error — wall clocks drift, so it simply runs as soon as the loop
+        gets to it.
+        """
+        if owner is _INHERIT:
+            owner = self._ctx_owner
+        handle = LiveHandle(time, fn, args, owner)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        if self._wake is not None:
+            # A new earliest deadline must interrupt the loop's sleep.
+            self._wake.set()
+        return handle
+
+    def cancel(self, handle: LiveHandle) -> None:
+        handle.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of non-cancelled callbacks still queued."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    # ------------------------------------------------------------------
+    # Deterministic services / contexts
+    # ------------------------------------------------------------------
+    def rng(self, name: str):
+        return self.streams.get(name)
+
+    def call_owned(self, owner: Any, fn: Callable[..., Any], *args: Any):
+        saved = self._ctx_owner
+        self._ctx_owner = owner
+        try:
+            return fn(*args)
+        finally:
+            self._ctx_owner = saved
+
+    @property
+    def current_owner(self) -> Optional[str]:
+        return self._ctx_owner
+
+    def run_inline(self, owner: Optional[str], at: float,
+                   fn: Callable[..., Any], *args: Any):
+        """Execute ``fn(*args)`` immediately with ``now`` frozen at
+        ``at`` and the owner context set.
+
+        The entry point for service tasks (queue pumps, datagram
+        receivers) handing work to protocol code: everything the
+        callback emits or schedules sees a consistent clock, exactly as
+        if it had been dispatched from the deadline heap.
+        """
+        saved_owner = self._ctx_owner
+        saved_frozen = self._frozen
+        self._ctx_owner = owner
+        self._frozen = at
+        try:
+            return fn(*args)
+        finally:
+            self._frozen = saved_frozen
+            self._ctx_owner = saved_owner
+
+    # ------------------------------------------------------------------
+    # Services (fabrics with async setup/teardown)
+    # ------------------------------------------------------------------
+    def add_service(self, service: Any) -> None:
+        """Register an object with async ``start()``/``stop()`` hooks,
+        awaited around the run loop (socket binding, pump tasks)."""
+        self._services.append(service)
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Blocking entry point — runs :meth:`arun` in a fresh loop.
+
+        Mirrors ``Simulator.run(until=...)`` so an armed
+        :class:`~repro.workloads.scenarios.Scenario` runs unmodified on
+        this backend.  ``max_events`` is accepted for signature parity.
+        """
+        asyncio.run(self.arun(until=until, max_events=max_events))
+
+    async def arun(self, until: Optional[float] = None,
+                   max_events: Optional[int] = None) -> None:
+        """Run the deadline loop until ``until`` logical ms.
+
+        ``until`` is inclusive, like the sim engine: callbacks scheduled
+        exactly at the horizon fire, and ``now`` ends at the horizon.
+        With ``until=None`` the loop exits when the heap drains — only
+        sensible without socket services that may inject new work.
+        """
+        if self._loop is not None:
+            raise RuntimeError("runtime is already running")
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._wake = asyncio.Event()
+        self._stopped = False
+        self._wall0 = loop.time()
+        for svc in self._services:
+            await svc.start()
+        try:
+            await self._loop_until(until, max_events)
+        finally:
+            for svc in self._services:
+                await svc.stop()
+            end = (loop.time() - self._wall0) * 1000.0 / self.time_scale
+            if until is not None:
+                end = min(end, until)
+            self._now = max(self._now, end)
+            self._loop = None
+            self._wake = None
+
+    async def _loop_until(self, until: Optional[float],
+                          max_events: Optional[int]) -> None:
+        loop = self._loop
+        heap = self._heap
+        scale = self.time_scale / 1000.0
+        processed = 0
+        while not self._stopped:
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+            next_time = heap[0][0] if heap else None
+            if next_time is None or (until is not None and next_time > until):
+                if until is None:
+                    break  # heap drained, no horizon: done
+                # Nothing left before the horizon: sleep toward it, but
+                # stay interruptible — a service may inject new work.
+                dt = (self._wall0 + until * scale) - loop.time()
+                if dt > 0 and await self._interruptible_sleep(dt):
+                    continue
+                break
+            dt = (self._wall0 + next_time * scale) - loop.time()
+            if dt > 0:
+                if await self._interruptible_sleep(dt):
+                    continue  # woken early: re-evaluate the heap top
+            # Execute everything due at the current wall instant,
+            # yielding after each callback so service tasks (queue
+            # pumps, datagram receivers) can re-inject arrivals at
+            # their correct logical position before the loop advances
+            # past them — even when the loop is lagging the wall clock.
+            wall_ms = (loop.time() - self._wall0) / scale
+            horizon = wall_ms if until is None else min(wall_ms, until)
+            while heap and not self._stopped:
+                t, _, handle = heap[0]
+                if handle.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if t > horizon:
+                    break
+                heapq.heappop(heap)
+                self._execute(handle, wall_ms)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    return
+                await asyncio.sleep(0)
+
+    async def _interruptible_sleep(self, dt_wall: float) -> bool:
+        """Sleep up to ``dt_wall`` seconds; True when woken early."""
+        self._wake.clear()
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout=dt_wall)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def _execute(self, handle: LiveHandle, wall_ms: float) -> None:
+        lag = wall_ms - handle.time
+        if lag > self.max_lag_ms:
+            self.max_lag_ms = lag
+        if lag > 0:
+            self.lag_sum_ms += lag
+        saved_owner = self._ctx_owner
+        self._ctx_owner = handle.owner
+        self._frozen = handle.time
+        try:
+            handle.fn(*handle.args)
+        finally:
+            self._frozen = None
+            self._ctx_owner = saved_owner
+        if handle.time > self._now:
+            self._now = handle.time
+        self.events_processed += 1
+
+    def stop(self) -> None:
+        """Request the loop to stop after the current callback."""
+        self._stopped = True
+        if self._wake is not None:
+            self._wake.set()
+
+    # ------------------------------------------------------------------
+    def lag_report(self) -> dict:
+        """Wall-lateness accounting for the finished (or running) run."""
+        n = self.events_processed
+        return {
+            "events": n,
+            "max_lag_ms": round(self.max_lag_ms, 3),
+            "mean_lag_ms": round(self.lag_sum_ms / n, 3) if n else 0.0,
+            "time_scale": self.time_scale,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LiveRuntime t={self.now:.6g} pending={self.pending} "
+                f"processed={self.events_processed} seed={self.seed}>")

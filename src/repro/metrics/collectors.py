@@ -1,28 +1,76 @@
-"""Trace-bus collectors for the quantities the experiments report."""
+"""Trace-bus collectors for the quantities the experiments report.
+
+Memory model: per-entity state is *aggregated*, not per-delivery.  At
+the million-endpoint scale a per-MH list of delivery timestamps or
+latency samples dominates the heap, so :class:`LatencyCollector` keeps
+one fixed-size :class:`RunningStats` per MH and per time window, and
+:class:`ThroughputCollector` buckets events into integer counts per
+window — O(windows), not O(messages).  The one unbounded structure left
+is the latency collector's global ``samples`` list, kept so the summary
+percentiles stay exact (it is the reporting artifact itself, and grows
+with total traffic, not with population size).
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.metrics.report import summarize
 from repro.net.address import NodeId
-from repro.sim.engine import Simulator
-from repro.sim.timers import PeriodicTimer
+from repro.runtime.api import Runtime
+from repro.runtime.timers import PeriodicTimer
 from repro.sim.trace import TraceBus, TraceRecord
+
+
+class RunningStats:
+    """Constant-size scalar aggregate: count / sum / min / max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {"count": self.count, "mean": self.mean,
+                "min": self.min, "max": self.max}
 
 
 class LatencyCollector:
     """End-to-end delivery latency: source send → MH app delivery.
 
-    Subscribes to ``mh.deliver`` (which carries ``latency``); also keeps
-    per-MH samples for fairness checks.
+    Subscribes to ``mh.deliver`` (which carries ``latency``).  Keeps an
+    exact global sample list for the percentile summary, a constant-size
+    :class:`RunningStats` per MH for fairness checks, and windowed
+    aggregates (``window_ms`` buckets) for time-series views.
     """
 
-    def __init__(self, trace: TraceBus, warmup: float = 0.0):
+    def __init__(self, trace: TraceBus, warmup: float = 0.0,
+                 window_ms: float = 100.0):
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {window_ms}")
         self.warmup = warmup
+        self.window_ms = window_ms
         self.samples: List[float] = []
-        self.by_mh: Dict[NodeId, List[float]] = defaultdict(list)
+        self.by_mh: Dict[NodeId, RunningStats] = defaultdict(RunningStats)
+        self.windows: Dict[int, RunningStats] = defaultdict(RunningStats)
         trace.subscribe("mh.deliver", self._on_deliver)
 
     def _on_deliver(self, rec: TraceRecord) -> None:
@@ -30,11 +78,21 @@ class LatencyCollector:
             return
         lat = rec["latency"]
         self.samples.append(lat)
-        self.by_mh[rec["mh"]].append(lat)
+        self.by_mh[rec["mh"]].add(lat)
+        self.windows[int(rec.time // self.window_ms)].add(lat)
 
     def summary(self) -> Dict[str, float]:
         """mean/p50/p95/p99/max over all deliveries after warmup."""
         return summarize(self.samples)
+
+    def mh_summary(self) -> Dict[NodeId, Dict[str, float]]:
+        """Per-MH latency aggregates (count/mean/min/max)."""
+        return {mh: stats.as_dict() for mh, stats in self.by_mh.items()}
+
+    def window_series(self) -> List[Tuple[float, Dict[str, float]]]:
+        """``(window_start_ms, aggregate)`` pairs in time order."""
+        return [(w * self.window_ms, self.windows[w].as_dict())
+                for w in sorted(self.windows)]
 
     @property
     def count(self) -> int:
@@ -48,25 +106,38 @@ class ThroughputCollector:
     * ``goodput(t0, t1)`` — per-MH average app deliveries per second;
       for the Theorem 5.1 check this should match the aggregate source
       rate ``s·λ`` when ordering keeps up.
+
+    Events are bucketed into integer counts per ``window_ms`` window at
+    record time, so per-MH state is O(windows) rather than one float per
+    delivery.  Rates over ``[t0, t1)`` count the windows whose *start*
+    falls in the interval — exact whenever ``t0``/``t1`` are multiples
+    of ``window_ms`` (every measurement interval in the experiments is),
+    off by at most one boundary window otherwise.
     """
 
-    def __init__(self, trace: TraceBus):
-        self.sends: List[float] = []
-        self.deliveries: Dict[NodeId, List[float]] = defaultdict(list)
+    def __init__(self, trace: TraceBus, window_ms: float = 100.0):
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {window_ms}")
+        self.window_ms = window_ms
+        self.sends: Dict[int, int] = defaultdict(int)
+        self.deliveries: Dict[NodeId, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int))
         trace.subscribe("source.send", self._on_send)
         trace.subscribe("mh.deliver", self._on_deliver)
 
     def _on_send(self, rec: TraceRecord) -> None:
-        self.sends.append(rec.time)
+        self.sends[int(rec.time // self.window_ms)] += 1
 
     def _on_deliver(self, rec: TraceRecord) -> None:
-        self.deliveries[rec["mh"]].append(rec.time)
+        self.deliveries[rec["mh"]][int(rec.time // self.window_ms)] += 1
 
-    @staticmethod
-    def _rate(times: Sequence[float], t0: float, t1: float) -> float:
-        n = sum(1 for t in times if t0 <= t < t1)
+    def _rate(self, windows: Dict[int, int], t0: float, t1: float) -> float:
         span_s = (t1 - t0) / 1000.0
-        return n / span_s if span_s > 0 else 0.0
+        if span_s <= 0:
+            return 0.0
+        n = sum(c for w, c in windows.items()
+                if t0 <= w * self.window_ms < t1)
+        return n / span_s
 
     def sent_rate(self, t0: float, t1: float) -> float:
         """Aggregate source rate (msg/s) in [t0, t1)."""
@@ -76,14 +147,14 @@ class ThroughputCollector:
         """Mean per-MH delivery rate (msg/s) in [t0, t1)."""
         if not self.deliveries:
             return 0.0
-        rates = [self._rate(ts, t0, t1) for ts in self.deliveries.values()]
+        rates = [self._rate(ws, t0, t1) for ws in self.deliveries.values()]
         return sum(rates) / len(rates)
 
     def min_goodput(self, t0: float, t1: float) -> float:
         """Slowest MH's delivery rate (msg/s) in [t0, t1)."""
         if not self.deliveries:
             return 0.0
-        return min(self._rate(ts, t0, t1) for ts in self.deliveries.values())
+        return min(self._rate(ws, t0, t1) for ws in self.deliveries.values())
 
 
 class BufferSampler:
@@ -95,7 +166,7 @@ class BufferSampler:
     per node and globally.
     """
 
-    def __init__(self, sim: Simulator, probe: Callable[[], List[dict]],
+    def __init__(self, sim: Runtime, probe: Callable[[], List[dict]],
                  period: float = 20.0, warmup: float = 0.0):
         self.sim = sim
         self.probe = probe

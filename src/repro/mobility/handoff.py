@@ -13,13 +13,13 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 from repro.mobility.cells import Cell, CellGrid
 from repro.mobility.models import MobilityModel
 from repro.net.address import NodeId
-from repro.sim.engine import Simulator
+from repro.runtime.api import Runtime
 
 
 class HandoffFacade(Protocol):  # pragma: no cover - typing helper
     """What the driver needs from a protocol instance."""
 
-    sim: Simulator
+    sim: Runtime
 
     def handoff(self, mh_id: NodeId, new_ap: NodeId) -> None: ...
 
@@ -42,6 +42,10 @@ class HandoffDriver:
         self._cell: Dict[NodeId, Cell] = {}
         self._state: Dict[NodeId, Dict] = {}
         self._active: Dict[NodeId, bool] = {}
+        #: Re-track generation per MH: a pending move from an earlier
+        #: tracking stint (stopped, then re-tracked by an open-world
+        #: re-arrival) must not fire into the new stint.
+        self._epoch: Dict[NodeId, int] = {}
         self.handoffs_driven = 0
         #: (time, mh, old_ap, new_ap) log of driven handoffs.
         self.log: List[Tuple[float, NodeId, NodeId, NodeId]] = []
@@ -64,6 +68,7 @@ class HandoffDriver:
         self._cell[mh_id] = cell
         self._state[mh_id] = {}
         self._active[mh_id] = True
+        self._epoch[mh_id] = self._epoch.get(mh_id, 0) + 1
         self._schedule(mh_id)
 
     def stop(self, mh_id: NodeId) -> None:
@@ -84,10 +89,11 @@ class HandoffDriver:
         dwell, nxt = self.model.next_move(
             self.rng, self.grid, self._cell[mh_id], self._state[mh_id]
         )
-        self.sim.schedule(dwell, self._move, mh_id, nxt)
+        self.sim.schedule(dwell, self._move, mh_id, nxt,
+                          self._epoch[mh_id])
 
-    def _move(self, mh_id: NodeId, nxt: Cell) -> None:
-        if not self._active.get(mh_id):
+    def _move(self, mh_id: NodeId, nxt: Cell, epoch: int) -> None:
+        if not self._active.get(mh_id) or epoch != self._epoch.get(mh_id):
             return
         cur = self._cell[mh_id]
         if nxt != cur:

@@ -19,7 +19,7 @@ from repro.net.address import NodeId
 from repro.net.link import Link, LinkSpec
 from repro.net.message import Message
 from repro.net.node import NetNode
-from repro.sim.engine import Simulator
+from repro.runtime.api import Runtime
 
 
 class Fabric:
@@ -28,13 +28,13 @@ class Fabric:
     Parameters
     ----------
     sim:
-        The simulator that schedules deliveries.
+        The runtime that schedules deliveries (sim engine or live).
     default_spec:
         When given, unknown (src, dst) pairs get a link with this spec on
         first send instead of raising.
     """
 
-    def __init__(self, sim: Simulator, default_spec: Optional[LinkSpec] = None):
+    def __init__(self, sim: Runtime, default_spec: Optional[LinkSpec] = None):
         self.sim = sim
         self.nodes: Dict[NodeId, NetNode] = {}
         self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
@@ -220,8 +220,19 @@ class Fabric:
         if sh is not None and not sh.is_local(dst):
             sh.export(sim.now + delay, delay, sim.mint_child_key(), dst, msg)
             return True
-        sim.schedule(delay, self._arrive, dst, msg, owner=dst)
+        self._dispatch(dst, msg, delay)
         return True
+
+    def _dispatch(self, dst: NodeId, msg: Message, delay: float) -> None:
+        """Hand one accepted transmission to the runtime for arrival.
+
+        The single backend-specific point of the send path: everything
+        above (links, faults, loss, jitter, bandwidth) is pure modelling,
+        so live fabrics (:mod:`repro.live.fabric`) override only this to
+        route the arrival through a queue or a socket instead of the
+        scheduler.
+        """
+        self.sim.schedule(delay, self._arrive, dst, msg, owner=dst)
 
     def _arrive(self, dst: NodeId, msg: Message) -> None:
         node = self.nodes.get(dst)

@@ -6,8 +6,8 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.address import NodeId
 from repro.net.message import Message
-from repro.sim.engine import Simulator
-from repro.sim.timers import PeriodicTimer, Timer
+from repro.runtime.api import Runtime
+from repro.runtime.timers import PeriodicTimer, Timer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.fabric import Fabric
@@ -38,13 +38,13 @@ class NetNode:
 
     # ------------------------------------------------------------------
     @property
-    def sim(self) -> Simulator:
-        """The simulator driving this node's fabric."""
+    def sim(self) -> Runtime:
+        """The runtime driving this node's fabric (sim or live)."""
         return self.fabric.sim
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current time (simulated or wall-clock-derived, in ms)."""
         return self.fabric.sim.now
 
     # ------------------------------------------------------------------

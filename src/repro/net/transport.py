@@ -32,12 +32,11 @@ Usage pattern inside a node::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.net.address import NodeId
 from repro.net.message import Message
 from repro.net.node import NetNode
-from repro.sim.engine import Event
 
 
 class Segment(Message):
@@ -77,8 +76,8 @@ class TransportStats:
 class _Outstanding:
     """Book-keeping for one unacked segment.
 
-    Holds the raw scheduler :class:`Event` of the pending RTO rather
-    than a :class:`~repro.sim.timers.Timer`: channels create one of
+    Holds the raw scheduler handle of the pending RTO rather than a
+    :class:`~repro.runtime.timers.Timer`: channels create one of
     these per sent message, and the extra wrapper object plus its
     attribute dict were measurable on the send hot path.
     """
@@ -89,7 +88,7 @@ class _Outstanding:
         self.dst = dst
         self.segment = segment
         self.retries_left = retries_left
-        self.rto_event: Optional[Event] = None
+        self.rto_event: Optional[Any] = None
 
 
 class ReliableChannel:

@@ -1,0 +1,22 @@
+"""The runtime seam: the interface protocol code runs against.
+
+Every layer above the scheduler — ``repro.net`` (fabric, transport,
+nodes) and ``repro.core`` (ordering, token, retransmission, mobile
+hosts) — talks to the world exclusively through the :class:`Runtime`
+interface defined here: a clock, one-shot scheduling with cancellation,
+named deterministic random streams, a trace bus, and ownership
+sections.  Two backends implement it:
+
+* :class:`repro.sim.engine.Simulator` — the discrete-event engine, the
+  correctness oracle (byte-identical goldens, sharded execution);
+* :class:`repro.live.runtime.LiveRuntime` — wall-clock asyncio, turning
+  the same protocol stack into a runnable service.
+
+The timers (:class:`Timer`, :class:`PeriodicTimer`) live here too, so
+protocol state machines depend only on the seam, never on an engine.
+"""
+
+from repro.runtime.api import _INHERIT, Runtime
+from repro.runtime.timers import PeriodicTimer, Timer
+
+__all__ = ["Runtime", "Timer", "PeriodicTimer", "_INHERIT"]

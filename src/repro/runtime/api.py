@@ -1,0 +1,108 @@
+"""The :class:`Runtime` interface — what protocol code may assume.
+
+A runtime is a clock plus a scheduler plus the deterministic services
+the protocol stack consumes (random streams, the trace bus, ownership
+sections).  The contract is intentionally small; everything in
+``repro.net`` and ``repro.core`` is written against it and must work
+unchanged on any implementation:
+
+``now``
+    Current time in milliseconds.  Simulated time on the sim backend,
+    wall-clock-derived time on the live backend.  Only moves forward.
+``schedule(delay, fn, *args, owner=...)`` / ``schedule_at`` / ``cancel``
+    One-shot callbacks.  The returned handle exposes a ``cancelled``
+    attribute (True once cancelled *or* refused by a shard gate), which
+    is all the timers inspect.  ``cancel`` is idempotent and a no-op on
+    handles that already fired.
+``rng(name)``
+    The named deterministic random stream (``random()``,
+    ``exponential()``, ``integers()`` — see
+    :class:`repro.sim.rand.RandomStreams`).  Same seed + same per-stream
+    draw sequence on every backend, which is what makes the sim-vs-live
+    differential harness meaningful.
+``trace``
+    The :class:`repro.sim.trace.TraceBus`; emit with
+    ``rt.trace.emit(now, kind, **fields)``.  Monitors subscribe to it —
+    identically for recorded sim traces and streaming live traces.
+``call_owned(owner, fn, *args)`` / ``current_owner``
+    Ownership sections at the control→entity boundary.  On the sim
+    backend these drive causal-key derivation and shard gating; a live
+    runtime only tracks the owner label.
+
+Implementations also carry ``gate``/``shard``/``obs``/``obs_hook``
+attributes (default ``None``); instrumented code null-checks them, so a
+backend that never sets them pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.trace import TraceBus
+
+#: Sentinel: "inherit the scheduling context's owner".  Shared by every
+#: backend so ``owner=_INHERIT`` means the same thing everywhere.
+_INHERIT = object()
+
+
+class Runtime:
+    """Abstract base for scheduler backends.
+
+    Subclasses must set :attr:`now`, :attr:`seed`, and :attr:`trace`,
+    and implement the scheduling and context methods below.  The base
+    class deliberately has no ``__init__``: the sim backend initializes
+    its state inline on the hot path, and the live backend has an
+    entirely different notion of "now".
+    """
+
+    #: Current time (ms).  Subclass state.
+    now: float
+    #: Master seed for the deterministic random streams.
+    seed: int
+    #: The structured trace bus.
+    trace: TraceBus
+
+    # Optional cross-cutting hooks; protocol code null-checks these.
+    gate: Optional[Callable[[Any], bool]] = None
+    shard = None
+    obs = None
+    obs_hook = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 owner: Any = _INHERIT):
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now.
+
+        Returns a cancellable handle with a ``cancelled`` attribute.
+        """
+        raise NotImplementedError
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any,
+                    owner: Any = _INHERIT):
+        """Schedule ``fn(*args)`` at an absolute time (ms)."""
+        raise NotImplementedError
+
+    def cancel(self, handle) -> None:
+        """Cancel a pending handle (no-op if it already fired)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Deterministic services
+    # ------------------------------------------------------------------
+    def rng(self, name: str):
+        """Return the named deterministic random stream."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Ownership contexts
+    # ------------------------------------------------------------------
+    def call_owned(self, owner: Any, fn: Callable[..., Any], *args: Any):
+        """Run ``fn(*args)`` in a sub-context owned by ``owner``."""
+        raise NotImplementedError
+
+    @property
+    def current_owner(self) -> Optional[str]:
+        """Owner of the currently executing context (None = control)."""
+        raise NotImplementedError

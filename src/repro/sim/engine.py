@@ -54,6 +54,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional, Tuple
 
+from repro.runtime.api import _INHERIT, Runtime
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import TraceBus
 
@@ -67,9 +68,6 @@ class SimulationError(RuntimeError):
 COMPACT_MIN_SIZE = 64
 
 _MASK = (1 << 64) - 1
-
-#: Sentinel: "inherit the scheduling context's owner".
-_INHERIT = object()
 
 
 def mix_key(base: int, salt: int) -> int:
@@ -123,8 +121,13 @@ class Event:
                 f"key={self.key:#x} {name} {state}>")
 
 
-class Simulator:
+class Simulator(Runtime):
     """Deterministic discrete-event simulator.
+
+    The canonical :class:`~repro.runtime.api.Runtime` implementation —
+    the protocol stack above only ever uses the seam surface, so this
+    engine and the wall-clock backend in :mod:`repro.live` are
+    interchangeable underneath it.
 
     Parameters
     ----------

@@ -35,6 +35,12 @@ class OpenWorldDriver:
     slot already in session is dropped (counted in ``busy``) — with a
     catchment sized well above the offered load this is rare, and
     dropping keeps the draw sequence identical across shard counts.
+
+    When a :class:`~repro.mobility.handoff.HandoffDriver` is supplied,
+    arriving sessions roam: each arrival is handed to the mobility
+    driver at its home AP and stops moving (where it stands) when the
+    session ends.  Both hooks run inside the same control-plane events
+    that already decide the session, so shard determinism is preserved.
     """
 
     def __init__(self, net, aps: Sequence[NodeId],
@@ -42,7 +48,8 @@ class OpenWorldDriver:
                  mean_session_ms: float = 1500.0,
                  alpha: float = 1.5,
                  max_session_ms: float = 60_000.0,
-                 rng_name: str = "openworld"):
+                 rng_name: str = "openworld",
+                 mobility=None):
         if arrivals_per_sec <= 0:
             raise ValueError("arrivals_per_sec must be positive")
         if mean_session_ms <= 0:
@@ -58,6 +65,7 @@ class OpenWorldDriver:
         self.mean_session_ms = mean_session_ms
         self.alpha = alpha
         self.max_session_ms = max_session_ms
+        self.mobility = mobility
         self.rng = self.sim.rng(rng_name)
         self.sessions = 0
         self.departures = 0
@@ -121,6 +129,8 @@ class OpenWorldDriver:
             self._in_session[slot] = self.sim.now
             self.sessions += 1
             self.log.append((self.sim.now, "arrive", mh_id))
+            if self.mobility is not None:
+                self.mobility.track(mh_id, ap)
             self.sim.schedule(length, self._depart, ap, idx)
         self._schedule()
 
@@ -130,4 +140,6 @@ class OpenWorldDriver:
         mh = self.net.mobile_hosts[mh_id]
         self.departures += 1
         self.log.append((self.sim.now, "depart", mh_id))
+        if self.mobility is not None:
+            self.mobility.stop(mh_id)
         self.sim.call_owned(mh_id, mh.leave)

@@ -21,7 +21,7 @@ from repro.core.protocol import RingNet
 from repro.mobility.cells import CellGrid
 from repro.mobility.handoff import HandoffDriver
 from repro.mobility.models import MobilityModel
-from repro.sim.engine import Simulator
+from repro.runtime.api import Runtime
 from repro.workloads.churn import ChurnDriver
 from repro.workloads.generators import SourceFleet
 from repro.workloads.openworld import OpenWorldDriver
@@ -29,9 +29,15 @@ from repro.workloads.openworld import OpenWorldDriver
 
 @dataclass
 class Scenario:
-    """A runnable bundle: simulator + protocol + workload + dynamics."""
+    """A runnable bundle: runtime + protocol + workload + dynamics.
 
-    sim: Simulator
+    ``sim`` is any :class:`~repro.runtime.api.Runtime` — the
+    discrete-event engine for simulations, a
+    :class:`~repro.live.runtime.LiveRuntime` for wall-clock runs; both
+    expose the ``run(until=...)`` entry :meth:`run` drives.
+    """
+
+    sim: Runtime
     net: RingNet
     fleet: SourceFleet
     grid: Optional[CellGrid] = None

@@ -261,6 +261,23 @@ def test_compare_old_baselines_without_rss_skip_memory_gate():
     cmp = compare_reports(cur, base, mem_threshold=0.0)
     assert cmp.ok
     assert all(d.metric != "peak_rss" for d in cmp.deltas)
+    # ...and the skip is reported, not silent.
+    assert cmp.mem_skipped == ["xs"]
+    assert cmp.to_dict()["mem_skipped"] == ["xs"]
+
+
+def test_compare_prints_memory_gate_skip(capsys):
+    from repro.bench.__main__ import _print_comparison
+
+    mib = 1 << 20
+    cur = _report({"xs": 100.0})
+    cur["results"][0]["peak_rss"] = 500 * mib
+    base = _report({"xs": 100.0})
+    cmp = compare_reports(cur, base)
+    status = _print_comparison(cmp, 0.2, "cur.json", "base.json")
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "xs: memory gate skipped (old baseline)" in out
 
 
 def test_comparison_report_to_dict_round_trips():

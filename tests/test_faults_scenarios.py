@@ -29,8 +29,9 @@ RECORD_HORIZON_MS = 2_500.0
 
 
 def test_registry_grew_to_eighteen():
-    # 18 as of the faults PR; 21 with the open-world trio.
-    assert len(registry.names()) == 21
+    # 18 as of the faults PR; 21 with the open-world trio; 22 with
+    # open_world_mobile.
+    assert len(registry.names()) == 22
     assert set(FAULT_SCENARIOS) <= set(registry.names())
 
 

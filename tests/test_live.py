@@ -1,0 +1,314 @@
+"""Tests for the live asyncio backend (`repro.live`).
+
+Covers the wall-clock runtime's seam semantics (frozen clock, absolute
+timer grid, seed parity with the sim engine), both fabrics, the
+spec-driven builder, and the sim-vs-live differential harness — whose
+report shape is pinned by the committed schema fixture.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.experiments import registry
+from repro.live.builder import NetworkBuilder
+from repro.live.diff import (DEFAULT_TOLERANCES, diff_spec, order_agreement,
+                             _count_inversions, validate_report)
+from repro.live.runtime import LiveRuntime
+from repro.runtime.timers import PeriodicTimer
+from repro.sim.engine import Simulator
+
+FAST = 0.02  # wall seconds per logical second: 50x faster than real time
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "live_diff_report.schema.json")
+
+
+def short_quickstart(duration_ms: float = 1200.0):
+    return registry.get("quickstart", duration_ms=duration_ms,
+                        warmup_ms=200.0)
+
+
+# ----------------------------------------------------------------------
+# LiveRuntime seam semantics
+# ----------------------------------------------------------------------
+class TestLiveRuntime:
+    def test_time_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LiveRuntime(time_scale=0.0)
+        with pytest.raises(ValueError):
+            LiveRuntime(time_scale=-1.0)
+
+    def test_negative_delay_rejected(self):
+        rt = LiveRuntime(time_scale=FAST)
+        with pytest.raises(ValueError):
+            rt.schedule(-1.0, lambda: None)
+
+    def test_frozen_clock_inside_callback(self):
+        # At an extreme time scale the loop is always behind the wall
+        # clock; the callback must still see its scheduled deadline.
+        rt = LiveRuntime(time_scale=0.0001)
+        seen = []
+        rt.schedule(5.0, lambda: seen.append(rt.now))
+        rt.schedule(9.0, lambda: seen.append(rt.now))
+        rt.run(until=10.0)
+        assert seen == [5.0, 9.0]
+        assert rt.now == 10.0  # clock ends at the horizon
+
+    def test_periodic_timer_on_absolute_grid(self):
+        rt = LiveRuntime(time_scale=0.0001)
+        fires = []
+        timer = PeriodicTimer(rt, period=7.0,
+                              fn=lambda: fires.append(rt.now), phase=3.0)
+        timer.start()
+        rt.run(until=31.0)
+        # phase + k*period, regardless of how late each tick really ran.
+        assert fires == [10.0, 17.0, 24.0, 31.0]
+
+    def test_cancel_and_pending(self):
+        rt = LiveRuntime(time_scale=FAST)
+        fired = []
+        keep = rt.schedule(1.0, lambda: fired.append("keep"))
+        drop = rt.schedule(1.0, lambda: fired.append("drop"))
+        assert rt.pending == 2
+        rt.cancel(drop)
+        assert rt.pending == 1
+        rt.run(until=2.0)
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_owner_inheritance_matches_sim(self):
+        # Same contract the sim engine implements: scheduled callbacks
+        # inherit the scheduling context's owner unless overridden.
+        rt = LiveRuntime(time_scale=0.0001)
+        owners = []
+
+        def inner():
+            owners.append(rt.current_owner)
+            rt.schedule(1.0, lambda: owners.append(rt.current_owner))
+            rt.schedule(1.0, lambda: owners.append(rt.current_owner),
+                        owner="other")
+
+        rt.call_owned("alice", lambda: rt.schedule(1.0, inner))
+        rt.run(until=5.0)
+        assert owners == ["alice", "alice", "other"]
+
+    def test_rng_streams_match_sim_engine(self):
+        # Identical named-stream derivation is what makes the
+        # differential harness meaningful: same seed, same draws.
+        rt = LiveRuntime(seed=42, time_scale=FAST)
+        sim = Simulator(seed=42)
+        for name in ("traffic", "mobility", "loss"):
+            live_draws = [rt.rng(name).random() for _ in range(5)]
+            sim_draws = [sim.rng(name).random() for _ in range(5)]
+            assert live_draws == sim_draws
+
+    def test_until_none_drains_heap(self):
+        rt = LiveRuntime(time_scale=FAST)
+        fired = []
+        rt.schedule(1.0, lambda: fired.append(1))
+        rt.schedule(3.0, lambda: fired.append(3))
+        rt.run()  # no horizon: exit when the heap drains
+        assert fired == [1, 3]
+
+    def test_stop_halts_the_loop(self):
+        rt = LiveRuntime(time_scale=0.0001)
+        fired = []
+
+        def first():
+            fired.append(1)
+            rt.stop()
+
+        rt.schedule(1.0, first)
+        rt.schedule(2.0, lambda: fired.append(2))
+        rt.run(until=10.0)
+        assert fired == [1]
+
+    def test_lag_report_shape(self):
+        rt = LiveRuntime(time_scale=0.0001)
+        rt.schedule(1.0, lambda: None)
+        rt.run(until=2.0)
+        rep = rt.lag_report()
+        assert rep["events"] == 1
+        assert rep["time_scale"] == 0.0001
+        assert rep["max_lag_ms"] >= 0.0
+        assert rep["mean_lag_ms"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Builder validation
+# ----------------------------------------------------------------------
+class TestNetworkBuilder:
+    def test_unknown_fabric_rejected(self):
+        with pytest.raises(ValueError, match="fabric"):
+            NetworkBuilder(short_quickstart(), fabric="carrier-pigeon")
+
+    def test_non_ringnet_spec_rejected(self):
+        spec = short_quickstart()
+        spec.system = "bspt"
+        with pytest.raises(ValueError, match="ringnet"):
+            NetworkBuilder(spec)
+
+
+# ----------------------------------------------------------------------
+# Live end-to-end over the queue fabric
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def queue_run():
+    run = NetworkBuilder(short_quickstart(), fabric="queue",
+                         time_scale=FAST, monitors=True).build()
+    run.run()
+    return run
+
+
+class TestQueueFabricRun:
+    def test_traffic_flows(self, queue_run):
+        assert queue_run.scenario.fleet.total_sent > 0
+        assert queue_run.scenario.net.total_app_deliveries() > 0
+
+    def test_zero_monitor_violations(self, queue_run):
+        assert queue_run.violations() == []
+
+    def test_zero_order_violations(self, queue_run):
+        assert queue_run.order is not None
+        assert queue_run.order.violation_count == 0
+
+    def test_report_shape(self, queue_run):
+        rep = queue_run.report()
+        assert rep["backend"] == "live"
+        assert rep["fabric"] == "queue"
+        assert rep["delivered"] > 0
+        assert rep["lag"]["events"] > 0
+        assert rep["loadgen"]["offered_rate_per_sec"] == 40.0
+        assert rep["loadgen"]["total_sent"] == rep["sent"]
+        # The report must be JSON-serializable: it is the CI artifact.
+        json.dumps(rep, default=list)
+
+    def test_loadgen_sampled(self, queue_run):
+        assert queue_run.loadgen.samples, "load generator never sampled"
+        assert queue_run.loadgen.achieved_rate_per_sec() > 0
+
+
+# ----------------------------------------------------------------------
+# UDP loopback fabric
+# ----------------------------------------------------------------------
+class TestUdpFabric:
+    def test_loopback_roundtrip(self):
+        run = NetworkBuilder(short_quickstart(duration_ms=1000.0),
+                             fabric="udp", time_scale=0.2,
+                             monitors=False).build()
+        run.run()
+        fabric = run.scenario.net.fabric
+        assert fabric.bytes_on_wire > 0
+        assert fabric.messages_delivered > 0
+        assert run.scenario.net.total_app_deliveries() > 0
+        assert run.order.violation_count == 0
+
+    def test_late_registration_rejected(self):
+        rt = LiveRuntime(time_scale=FAST)
+        from repro.live.fabric import UdpFabric
+
+        fabric = UdpFabric(rt)
+
+        class Stub:
+            id = "late"
+
+            def on_message(self, msg):  # pragma: no cover
+                pass
+
+        async def scenario():
+            await fabric.start()
+            with pytest.raises(RuntimeError, match="after start"):
+                fabric.register(Stub())
+            await fabric.stop()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Order agreement machinery
+# ----------------------------------------------------------------------
+class TestOrderAgreement:
+    def test_inversion_count_matches_bruteforce(self):
+        cases = [[], [1], [1, 2, 3], [3, 2, 1], [2, 1, 4, 3],
+                 [5, 1, 4, 2, 3], [1, 3, 2, 5, 4, 0]]
+        for seq in cases:
+            brute = sum(1 for i in range(len(seq))
+                        for j in range(i + 1, len(seq))
+                        if seq[i] > seq[j])
+            assert _count_inversions(list(seq)) == brute, seq
+
+    def test_identical_sequences_agree_fully(self):
+        seq = [("s0", i) for i in range(10)]
+        agreement, common, inversions = order_agreement(seq, list(seq))
+        assert (agreement, common, inversions) == (1.0, 10, 0)
+
+    def test_reversed_sequences_fully_disagree(self):
+        seq = [("s0", i) for i in range(10)]
+        agreement, common, inversions = order_agreement(seq, seq[::-1])
+        assert agreement == 0.0
+        assert inversions == 45
+
+    def test_partial_overlap(self):
+        sim = [("s", 0), ("s", 1), ("s", 2), ("s", 3)]
+        live = [("s", 1), ("s", 0), ("s", 2)]
+        agreement, common, inversions = order_agreement(sim, live)
+        assert common == 3
+        assert inversions == 1
+        assert agreement == pytest.approx(1 - 1 / 3)
+
+    def test_disjoint_sequences_trivially_agree(self):
+        agreement, common, _ = order_agreement([("a", 1)], [("b", 2)])
+        assert common == 0
+        assert agreement == 1.0
+
+
+# ----------------------------------------------------------------------
+# Differential harness + report schema
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def diff_report():
+    return diff_spec(short_quickstart(), fabric="queue", time_scale=FAST)
+
+
+class TestDiffHarness:
+    def test_within_tolerance(self, diff_report):
+        assert diff_report["ok"] is True
+        assert all(e["ok"] for e in diff_report["envelopes"])
+        assert all(g["ok"] for g in diff_report["groups"])
+
+    def test_conformance_clean(self, diff_report):
+        conf = diff_report["conformance"]
+        assert conf["sim_order_violations"] == 0
+        assert conf["live_order_violations"] == 0
+        assert conf["live_monitor_violations"] == []
+
+    def test_covers_every_mh(self, diff_report):
+        # quickstart: 3 BR x 2 AG x 2 AP x 2 MH = 24 mobile hosts.
+        assert len(diff_report["groups"]) == 24
+
+    def test_report_matches_committed_schema(self, diff_report):
+        with open(SCHEMA_PATH) as fh:
+            schema = json.load(fh)
+        problems = validate_report(diff_report, schema)
+        assert problems == []
+
+    def test_report_is_json_serializable(self, diff_report):
+        json.dumps(diff_report)
+
+    def test_schema_catches_missing_keys(self, diff_report):
+        with open(SCHEMA_PATH) as fh:
+            schema = json.load(fh)
+        broken = dict(diff_report)
+        del broken["envelopes"]
+        broken["seed"] = "seven"
+        problems = validate_report(broken, schema)
+        assert any("envelopes" in p for p in problems)
+        assert any("seed" in p for p in problems)
+
+    def test_default_tolerances_preserved_in_report(self, diff_report):
+        assert diff_report["tolerances"] == DEFAULT_TOLERANCES

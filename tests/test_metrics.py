@@ -146,6 +146,70 @@ def test_reliability_collector_empty_is_perfect():
 
 
 # ---------------------------------------------------------------------------
+# Windowed aggregation + per-MH memory regression
+# ---------------------------------------------------------------------------
+def test_latency_collector_windowed_aggregates():
+    bus = TraceBus()
+    col = LatencyCollector(bus, window_ms=100.0)
+    bus.emit(50.0, "mh.deliver", mh="m1", latency=5.0)
+    bus.emit(120.0, "mh.deliver", mh="m1", latency=7.0)
+    bus.emit(130.0, "mh.deliver", mh="m2", latency=9.0)
+    series = col.window_series()
+    assert [t for t, _ in series] == [0.0, 100.0]
+    assert series[0][1] == {"count": 1, "mean": 5.0, "min": 5.0, "max": 5.0}
+    assert series[1][1] == {"count": 2, "mean": 8.0, "min": 7.0, "max": 9.0}
+    per_mh = col.mh_summary()
+    assert per_mh["m1"]["count"] == 2
+    assert per_mh["m1"]["mean"] == 6.0
+    assert per_mh["m2"] == {"count": 1, "mean": 9.0, "min": 9.0, "max": 9.0}
+
+
+def test_per_mh_state_independent_of_delivery_count():
+    # The million-endpoint regression: feeding one MH 5000 deliveries
+    # must not create 5000 entries anywhere — per-MH state is a
+    # fixed-size aggregate plus one integer per touched window.
+    bus = TraceBus()
+    lat = LatencyCollector(bus)
+    thr = ThroughputCollector(bus)
+    for _ in range(5_000):
+        bus.emit(250.0, "mh.deliver", mh="m", latency=1.0)
+    assert len(thr.deliveries["m"]) == 1       # one window bucket
+    assert thr.deliveries["m"][2] == 5_000     # holding the full count
+    assert len(lat.windows) == 1
+    stats = lat.by_mh["m"]
+    assert stats.count == 5_000
+    assert not hasattr(stats, "__dict__")      # __slots__: fixed size
+
+
+def test_throughput_collector_memory_pinned_per_mh():
+    import gc
+    import tracemalloc
+
+    def feed(per_mh: int):
+        gc.collect()
+        tracemalloc.start()
+        bus = TraceBus()
+        col = ThroughputCollector(bus)
+        for m in range(200):
+            for i in range(per_mh):
+                bus.emit((i * 1_000.0) / per_mh, "mh.deliver",
+                         mh=f"mh{m}", latency=1.0)
+        gc.collect()
+        size, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del col, bus
+        return size
+
+    light = feed(10)
+    heavy = feed(500)   # 50x the deliveries, same 10 windows per MH
+    # Pre-windowing this ratio was ~25x (a float per delivery); with
+    # windowed counts both runs hold the same buckets.
+    assert heavy < light * 2.0, (light, heavy)
+    # And the absolute footprint stays small: well under 2 KiB per MH.
+    assert heavy < 200 * 2_048, heavy
+
+
+# ---------------------------------------------------------------------------
 # Collectors against a live run
 # ---------------------------------------------------------------------------
 def test_token_rotation_collector_measures_ring():
