@@ -64,6 +64,11 @@ def _print_comparison(cmp, threshold: float, current_label: str,
     for delta in cmp.deltas:
         marker = "REGRESSION " if delta.regressed(threshold) else ""
         print(f"  {marker}{delta.describe()}")
+    if getattr(cmp, "span_tables", None):
+        from repro.obs.critpath import render_stage_delta
+        for name, rows in cmp.span_tables.items():
+            print(f"per-stage latency, {name} (informational):")
+            print(render_stage_delta(rows, current_label, baseline_label))
     for only in cmp.only_current:
         print(f"  {only}: only in {current_label} (skipped)")
     for only in cmp.only_baseline:
@@ -102,6 +107,23 @@ def _write_obs(results: List[BenchResult],
         paths = write_artifacts(r.obs_report, r.obs_timeline or [],
                                 out_dir=out_dir, name=r.name)
         print(f"wrote {paths['report']}")
+
+
+def _write_spans(results: List[BenchResult],
+                 args: argparse.Namespace) -> None:
+    """Write each result's SPANS_* artifacts when --spans DIR was given."""
+    out_dir = getattr(args, "spans", None)
+    if not out_dir:
+        return
+    import os
+    from repro.obs.spans import write_span_events
+    os.makedirs(out_dir, exist_ok=True)
+    for r in results:
+        if r.span_events is None:
+            continue
+        path = os.path.join(out_dir, f"SPANS_{r.name}.jsonl.gz")
+        write_span_events(path, r.span_events)
+        print(f"wrote {path} ({len(r.span_events)} span events)")
 
 
 def _finish(results: List[BenchResult], kind: str, name: str,
@@ -143,9 +165,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                           shards=shards, obs=args.obs is not None,
                           obs_window_ms=args.obs_window,
                           progress=args.progress,
-                          stream_path=_stream_path(args, spec.name))
+                          stream_path=_stream_path(args, spec.name),
+                          spans=args.spans is not None)
     _print_result(result)
     _write_obs([result], args)
+    _write_spans([result], args)
     name = spec.name if shards == 1 else f"shard_{spec.name}"
     return _finish([result], kind="run", name=name, args=args)
 
@@ -170,7 +194,8 @@ def cmd_ladder(args: argparse.Namespace) -> int:
                               obs=args.obs is not None,
                               obs_window_ms=args.obs_window,
                               progress=args.progress,
-                              stream_path=_stream_path(args, rung.name))
+                              stream_path=_stream_path(args, rung.name),
+                              spans=args.spans is not None)
         result.name = rung.name  # rung name, not the base scenario's
         results.append(result)
         _print_result(result)
@@ -218,6 +243,7 @@ def cmd_ladder(args: argparse.Namespace) -> int:
             results.append(sharded)
             _print_result(sharded)
     _write_obs(results, args)
+    _write_spans(results, args)
     name = "shard_ladder" if shards > 1 else "ladder"
     return _finish(results, kind="ladder", name=name, args=args,
                    extra={"obs_overhead": overhead} if overhead else None)
@@ -252,6 +278,14 @@ def _add_measure_args(p: argparse.ArgumentParser) -> None:
                         "write OBS_<name>.json + timeline artifacts to "
                         "DIR (default: cwd); headline ev/s then includes "
                         "the obs overhead")
+    p.add_argument("--spans", nargs="?", const=".", default=None,
+                   metavar="DIR",
+                   help="attach causal span tracing (repro.obs.spans) and "
+                        "write SPANS_<name>.jsonl.gz event streams to DIR "
+                        "(default: cwd); the report gains a per-stage "
+                        "latency digest (span_stages) and headline ev/s "
+                        "then includes the tracing tax; sample rate via "
+                        "REPRO_SPANS_SAMPLE")
     p.add_argument("--obs-window", type=float, default=None, metavar="MS",
                    help="timeline window width in simulated ms "
                         "(default: horizon/20)")

@@ -85,6 +85,13 @@ class ComparisonReport:
     #: Which rate the deltas were computed on.
     metric: str = "events_per_sec"
 
+    #: Per-stage latency delta rows (``repro.obs.critpath.stage_delta``)
+    #: for matched entries where *both* sides carry a ``span_stages``
+    #: digest.  Informational only — latency attribution shifts are for
+    #: humans to read, not for the rate gate to fail on.
+    span_tables: Dict[str, List[Dict[str, Any]]] = field(
+        default_factory=dict)
+
     @property
     def regressions(self) -> List[Delta]:
         return [d for d in self.deltas if d.regressed(self.threshold)]
@@ -107,6 +114,8 @@ class ComparisonReport:
             "only_current": list(self.only_current),
             "only_baseline": list(self.only_baseline),
             "mem_skipped": list(self.mem_skipped),
+            "span_tables": {name: list(rows)
+                            for name, rows in self.span_tables.items()},
         }
 
 
@@ -128,6 +137,16 @@ def _rss_by_name(report: Mapping[str, Any]) -> Dict[str, float]:
         rss = float(entry.get("peak_rss", 0) or 0)
         if rss > 0:
             out[str(entry["name"])] = rss
+    return out
+
+
+def _spans_by_name(report: Mapping[str, Any]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for entry in report.get("results") or []:
+        stages = entry.get("span_stages")
+        if isinstance(stages, dict) and stages:
+            out[str(entry["name"])] = {str(k): float(v)
+                                       for k, v in stages.items()}
     return out
 
 
@@ -178,4 +197,11 @@ def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
             # Measured now, but the baseline predates peak_rss: say so
             # explicitly rather than silently not gating memory.
             report.mem_skipped.append(name)
+    cur_spans = _spans_by_name(current)
+    base_spans = _spans_by_name(baseline)
+    for name in cur_spans:
+        if name in base_spans:
+            from repro.obs.critpath import stage_delta  # lazy: optional layer
+            report.span_tables[name] = stage_delta(cur_spans[name],
+                                                   base_spans[name])
     return report

@@ -120,6 +120,14 @@ class BenchResult:
     #: them as separate ``OBS_*`` artifacts.
     obs_report: Optional[Dict[str, Any]] = None
     obs_timeline: Optional[List[Dict[str, Any]]] = None
+    #: Raw span-event stream of the best repeat (``spans=True`` runs);
+    #: like the obs payloads it is never embedded in :meth:`to_dict` —
+    #: the CLI writes it as a separate ``SPANS_*`` artifact.
+    span_events: Optional[List[Any]] = None
+    #: Compact per-stage mean latency digest of the best repeat
+    #: (``{"uplink": ms, ...}``), small enough to embed in the report —
+    #: this is what ``bench compare`` diffs across runs.
+    span_stages: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {
@@ -157,6 +165,9 @@ class BenchResult:
             out["shard"] = dict(self.shard_stats)
         if self.speedup is not None:
             out["speedup"] = round(self.speedup, 3)
+        if self.span_stages is not None:
+            out["span_stages"] = {k: round(v, 3)
+                                  for k, v in self.span_stages.items()}
         return out
 
 
@@ -176,7 +187,8 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
                  check: bool = False, shards: int = 1,
                  obs: bool = False, obs_window_ms: Optional[float] = None,
                  progress: bool = False,
-                 stream_path: Optional[str] = None) -> BenchResult:
+                 stream_path: Optional[str] = None,
+                 spans: bool = False) -> BenchResult:
     """Benchmark one spec; headline numbers are the fastest repeat.
 
     Every repeat is a complete fresh build+run (same seed, so the same
@@ -204,6 +216,12 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
     (each overwrites the last).  The headline events/sec then includes
     the serialization cost — the point is proving the streaming rung
     end to end, not flattering the rate.  Sequential only.
+
+    ``spans=True`` attaches a :class:`~repro.obs.spans.SpanCollector`
+    per repeat (sample rate from ``REPRO_SPANS_SAMPLE``) and keeps the
+    best repeat's event stream plus a per-stage latency digest on the
+    result; headline ev/s then includes the tracing tax, which is what
+    the CI spans-overhead gate compares.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -212,12 +230,14 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
             raise ValueError(
                 "stream_path is a sequential-measure feature; stream a "
                 "sharded run via repro.shard.record_sharded")
-        return _measure_sharded(spec, repeat, shards, check, obs=obs)
+        return _measure_sharded(spec, repeat, shards, check, obs=obs,
+                                spans=spans)
     from repro.experiments.runner import build_scenario  # lazy: heavy
 
     attach = obs or progress
     best: Optional[Dict[str, Any]] = None
     best_session = None
+    best_spans: Optional[List[Any]] = None
     walls: List[float] = []
     peak_heap = 0
     trace_records = 0
@@ -228,6 +248,11 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
             from repro.sim.trace import StreamingTraceSink
             sink = StreamingTraceSink(stream_path)
             sink.attach(sim.trace)
+        collector = None
+        if spans:
+            from repro.obs.spans import SpanCollector  # lazy: optional layer
+            collector = SpanCollector()
+            collector.attach(sim.trace, sim=sim)
         t0 = time.perf_counter()
         scenario = build_scenario(spec, sim=sim)
         session = None
@@ -245,6 +270,8 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
         t2 = time.perf_counter()
         if session is not None:
             session.finish()
+        if collector is not None:
+            collector.detach()
         if sink is not None:
             trace_records = sink.count
         wall = t2 - t1
@@ -262,6 +289,8 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
                 **_populations(scenario.net),
             }
             best_session = session
+            if collector is not None:
+                best_spans = collector.events
 
     result = BenchResult(
         name=spec.name,
@@ -279,6 +308,9 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
     if obs and best_session is not None:
         result.obs_report = best_session.report()
         result.obs_timeline = list(best_session.rows)
+    if best_spans is not None:
+        result.span_events = best_spans
+        result.span_stages = _span_stage_digest(best_spans)
     if check:
         from repro.validation.suite import check_spec  # lazy: optional layer
         checked = check_spec(spec)
@@ -287,9 +319,16 @@ def measure_spec(spec: ExperimentSpec, repeat: int = 1,
     return result
 
 
+def _span_stage_digest(events: List[Any]) -> Dict[str, float]:
+    from repro.obs.critpath import critpath_summary, stage_means
+    from repro.obs.spans import assemble
+
+    return stage_means(critpath_summary(assemble(events)))
+
+
 def _measure_sharded(spec: ExperimentSpec, repeat: int,
                      shards: int, check: bool,
-                     obs: bool = False) -> BenchResult:
+                     obs: bool = False, spans: bool = False) -> BenchResult:
     from repro.bench.ladder import node_counts  # lazy: avoid import cycle
     from repro.shard.runtime import run_sharded
 
@@ -302,7 +341,7 @@ def _measure_sharded(spec: ExperimentSpec, repeat: int,
     walls: List[float] = []
     peak_heap = 0
     for _ in range(repeat):
-        res = run_sharded(spec, shards, obs=obs)
+        res = run_sharded(spec, shards, obs=obs, spans=spans)
         walls.append(res.wall_s)
         peak_heap = max(peak_heap, res.peak_heap)
         if best is None or res.events_per_sec > best.events_per_sec:
@@ -333,6 +372,9 @@ def _measure_sharded(spec: ExperimentSpec, repeat: int,
         shard_stats=best.stats_dict(),
         obs_report=best.obs_report,
         obs_timeline=best.obs_timeline,
+        span_events=best.span_events,
+        span_stages=(_span_stage_digest(best.span_events)
+                     if best.span_events is not None else None),
     )
 
 

@@ -179,7 +179,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                          root_seed=args.seed)
     results = run_sweep(points, jobs=args.jobs,
                         progress=_progress if not args.quiet else None,
-                        check=args.check, obs_dir=args.obs)
+                        check=args.check, obs_dir=args.obs,
+                        spans_dir=args.spans)
     print()
     print(format_table(_result_rows(results)))
     _write_artifacts(args, results, meta={
@@ -205,7 +206,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"jobs={args.jobs})")
     results = run_sweep(points, jobs=args.jobs,
                         progress=_progress if not args.quiet else None,
-                        check=args.check, obs_dir=args.obs)
+                        check=args.check, obs_dir=args.obs,
+                        spans_dir=args.spans)
     print()
     print(format_table(_aggregate_rows(aggregate(results))))
     _write_artifacts(args, results, meta={
@@ -244,6 +246,13 @@ def _add_common(p: argparse.ArgumentParser, default_jobs: int) -> None:
                    help="attach out-of-band telemetry (repro.obs) to "
                         "every run and write OBS_<run_id>.json + timeline "
                         "artifacts to DIR (default: cwd)")
+    p.add_argument("--spans", nargs="?", const=".", default=None,
+                   metavar="DIR",
+                   help="attach causal span tracing (repro.obs.spans) to "
+                        "every run and write SPANS_<run_id>.jsonl.gz + "
+                        "CRITPATH_<run_id>.json artifacts to DIR "
+                        "(default: cwd); sample rate via "
+                        "REPRO_SPANS_SAMPLE")
     p.add_argument("--timing", action="store_true",
                    help="include wall-clock times in the JSON artifact "
                         "(makes it non-reproducible byte-for-byte)")

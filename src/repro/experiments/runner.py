@@ -311,7 +311,8 @@ def _peak_buffer(net) -> int:
 
 def run_point(point: Union[RunPoint, ExperimentSpec],
               check: bool = False,
-              obs_dir: Optional[str] = None) -> RunResult:
+              obs_dir: Optional[str] = None,
+              spans_dir: Optional[str] = None) -> RunResult:
     """Execute one run and distill its :class:`RunResult`.
 
     Accepts either a grid :class:`RunPoint` or a bare spec (treated as a
@@ -323,6 +324,10 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
     ``obs_dir`` attaches an out-of-band :class:`~repro.obs.session.
     ObsSession` (another pure observer — metrics stay byte-identical)
     and writes ``OBS_<run_id>.json`` + timeline artifacts there.
+
+    ``spans_dir`` attaches a :class:`~repro.obs.spans.SpanCollector`
+    (also a pure observer) and writes ``SPANS_<run_id>.jsonl.gz`` plus
+    a ``CRITPATH_<run_id>.json`` latency-attribution report there.
     """
     if isinstance(point, ExperimentSpec):
         point = RunPoint(spec=point, params={}, seed=point.seed)
@@ -347,6 +352,11 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
             session = ObsSession(scenario.sim, horizon_ms=spec.duration_ms,
                                  name=point.run_id)
         trace = scenario.sim.trace
+        collector = None
+        if spans_dir is not None:
+            from repro.obs.spans import SpanCollector  # lazy: optional layer
+            collector = SpanCollector()
+            collector.attach(trace, sim=scenario.sim)
         if suite is not None:
             # The suite already carries a total-order checker for
             # ordered systems; reuse it, don't attach a second one.
@@ -368,6 +378,9 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
         if session is not None:
             session.finish()
             session.write(obs_dir)
+        if collector is not None:
+            collector.detach()
+            _write_span_artifacts(spans_dir, point.run_id, collector.events)
         net = scenario.net
         violations = None
         if suite is not None:
@@ -402,6 +415,22 @@ def run_point(point: Union[RunPoint, ExperimentSpec],
     )
 
 
+def _write_span_artifacts(out_dir: str, run_id: str, events) -> None:
+    import json
+
+    from repro.obs.critpath import critpath_summary
+    from repro.obs.spans import assemble, write_span_events
+
+    os.makedirs(out_dir, exist_ok=True)
+    write_span_events(os.path.join(out_dir, f"SPANS_{run_id}.jsonl.gz"),
+                      events)
+    summary = critpath_summary(assemble(events))
+    path = os.path.join(out_dir, f"CRITPATH_{run_id}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
@@ -409,8 +438,9 @@ def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry: dict in, dict out (picklable under fork and spawn)."""
     check = payload.pop("check", False)
     obs_dir = payload.pop("obs_dir", None)
+    spans_dir = payload.pop("spans_dir", None)
     return run_point(RunPoint.from_dict(payload), check=check,
-                     obs_dir=obs_dir).to_dict()
+                     obs_dir=obs_dir, spans_dir=spans_dir).to_dict()
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -440,6 +470,7 @@ def run_sweep(
     progress: Optional[Callable[[int, int, RunResult], None]] = None,
     check: bool = False,
     obs_dir: Optional[str] = None,
+    spans_dir: Optional[str] = None,
 ) -> List[RunResult]:
     """Execute every point; returns results in submission order.
 
@@ -448,7 +479,8 @@ def run_sweep(
     called as ``progress(i, total, result)`` as finished results are
     collected, in submission order.  ``check=True`` runs every point
     with the validation monitor suite attached (see :func:`run_point`);
-    ``obs_dir`` writes per-run ``OBS_*`` telemetry artifacts there.
+    ``obs_dir`` writes per-run ``OBS_*`` telemetry artifacts there and
+    ``spans_dir`` per-run ``SPANS_*`` / ``CRITPATH_*`` span artifacts.
 
     The ``REPRO_SWEEP_JOBS`` environment variable overrides ``jobs``
     (handy in CI, where the caller cannot edit every invocation), and
@@ -460,13 +492,15 @@ def run_sweep(
     if jobs == 1 or len(points) <= 1:
         results = []
         for i, point in enumerate(points):
-            result = run_point(point, check=check, obs_dir=obs_dir)
+            result = run_point(point, check=check, obs_dir=obs_dir,
+                               spans_dir=spans_dir)
             results.append(result)
             if progress is not None:
                 progress(i, len(points), result)
         return results
 
-    payloads = [dict(p.to_dict(), check=check, obs_dir=obs_dir)
+    payloads = [dict(p.to_dict(), check=check, obs_dir=obs_dir,
+                     spans_dir=spans_dir)
                 for p in points]
     with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
         done = 0

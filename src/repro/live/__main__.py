@@ -71,6 +71,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     run.run()
     report = run.report()
     _write_out(report, args.out, args.quiet)
+    if args.obs is not None:
+        from repro.obs.session import write_artifacts
+        paths = write_artifacts(run.obs_report(), [], out_dir=args.obs,
+                                name=spec.name)
+        if not args.quiet:
+            print(f"obs report written to {paths['report']}")
     violations = report["monitor_violations"]
     order = report["order_violations"]
     if not args.quiet:
@@ -114,6 +120,11 @@ def cmd_diff(args: argparse.Namespace) -> int:
             flag = "ok " if env["ok"] else "FAIL"
             print(f"  [{flag}] {env['metric']}: sim={env['sim']:.3f} "
                   f"live={env['live']:.3f} (limit ±{env['limit']:.3f})")
+        delta = (report.get("span_stages") or {}).get("delta")
+        if delta:
+            from repro.obs.critpath import render_stage_delta
+            print("per-stage latency attribution (live vs sim):")
+            print(render_stage_delta(delta, "live", "sim"))
     if not report["ok"]:
         print("FAIL: sim and live disagree beyond tolerance",
               file=sys.stderr)
@@ -170,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fabric", choices=("queue", "udp"), default="queue")
     p.add_argument("--no-monitors", action="store_true",
                    help="skip the validation monitor suite")
+    p.add_argument("--obs", nargs="?", const=".", default=None,
+                   metavar="DIR",
+                   help="write an OBS_<name>.json run report (lag "
+                        "accounting as gauges, protocol counters) to DIR "
+                        "for python -m repro.obs summarize")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("diff", help="sim-vs-live differential harness")

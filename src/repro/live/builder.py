@@ -74,6 +74,40 @@ class LiveRun:
             "lag": self.runtime.lag_report(),
         }
 
+    def obs_report(self) -> Dict[str, object]:
+        """``OBS_*``-style run report readable by ``python -m repro.obs``.
+
+        The live loop's lag/drift accounting becomes registry gauges
+        (``live.max_lag_ms``, ``live.mean_lag_ms``, ...) next to any
+        counters protocol code accumulated through ``runtime.obs``, so
+        ``repro.obs summarize`` works on live-run telemetry the same
+        way it does on sim runs.
+        """
+        from repro.obs.registry import MetricsRegistry  # lazy: optional
+        from repro.obs.session import OBS_SCHEMA
+
+        reg = self.runtime.obs
+        if reg is None:
+            reg = MetricsRegistry()
+        lag = self.runtime.lag_report()
+        reg.set_gauge("live.max_lag_ms", lag["max_lag_ms"])
+        reg.set_gauge("live.mean_lag_ms", lag["mean_lag_ms"])
+        reg.set_gauge("live.time_scale", lag["time_scale"])
+        reg.set_gauge("live.events", lag["events"])
+        spec = self.spec
+        return {
+            "schema": OBS_SCHEMA,
+            "name": spec.name if spec is not None else "live",
+            "backend": "live",
+            "fabric": self.fabric_kind,
+            "horizon_ms": (spec.duration_ms if spec is not None
+                           else self.runtime.now),
+            "window_ms": 0.0,
+            "windows": 0,
+            "events": self.runtime.events_processed,
+            "registry": reg.snapshot(),
+        }
+
 
 class NetworkBuilder:
     """Instantiate the protocol tiers from a spec, live.
@@ -116,6 +150,11 @@ class NetworkBuilder:
 
         spec = self.spec
         runtime = LiveRuntime(seed=spec.seed, time_scale=self.time_scale)
+        # Give the live loop a metrics registry up front: protocol code
+        # reaches it through ``sim.obs`` exactly as under an ObsSession,
+        # and obs_report() folds the lag gauges in after the run.
+        from repro.obs.registry import MetricsRegistry  # lazy: optional
+        runtime.obs = MetricsRegistry()
         suite = None
         if self.monitors:
             suite = standard_suite(spec.system)

@@ -110,8 +110,16 @@ def order_agreement(sim_seq: List[Tuple[str, int]],
 # ----------------------------------------------------------------------
 # The two runs
 # ----------------------------------------------------------------------
+def _span_stage_means(events) -> Dict[str, float]:
+    from repro.obs.critpath import critpath_summary, stage_means
+    from repro.obs.spans import assemble
+
+    return stage_means(critpath_summary(assemble(events)))
+
+
 def _run_sim(spec: ExperimentSpec) -> Dict[str, Any]:
     from repro.experiments.runner import build_scenario
+    from repro.obs.spans import SpanCollector
     from repro.sim.engine import Simulator
 
     sim = Simulator(seed=spec.seed)
@@ -119,8 +127,11 @@ def _run_sim(spec: ExperimentSpec) -> Dict[str, Any]:
     latency = LatencyCollector(sim.trace, warmup=spec.warmup_ms)
     throughput = ThroughputCollector(sim.trace)
     order = OrderChecker(sim.trace)
+    spans = SpanCollector()
+    spans.attach(sim.trace, sim=sim)
     scenario = build_scenario(spec, sim=sim)
     scenario.run()
+    spans.detach()
     t0, t1 = spec.warmup_ms, spec.duration_ms
     return {
         "backend": "sim",
@@ -131,20 +142,26 @@ def _run_sim(spec: ExperimentSpec) -> Dict[str, Any]:
         "latency": latency.summary(),
         "order_violations": order.violation_count,
         "deliveries": log.by_mh,
+        "span_stages": _span_stage_means(spans.events),
     }
 
 
 def _run_live(spec: ExperimentSpec, fabric: str = "queue",
               time_scale: float = 1.0) -> Dict[str, Any]:
     from repro.live.builder import NetworkBuilder
+    from repro.obs.spans import SpanCollector
 
     builder = NetworkBuilder(spec, fabric=fabric, time_scale=time_scale,
                              monitors=True)
     run = builder.build()
     log = DeliveryLog(run.runtime.trace)
+    spans = SpanCollector()
+    spans.attach(run.runtime.trace, sim=run.runtime)
     run.run()
+    spans.detach()
     report = run.report()
     report["deliveries"] = log.by_mh
+    report["span_stages"] = _span_stage_means(spans.events)
     return report
 
 
@@ -212,6 +229,17 @@ def diff_spec(spec: ExperimentSpec, fabric: str = "queue",
                   tol["rate_rel"]),
     ]
 
+    # Per-stage latency attribution on both backends (informational —
+    # the verdict comes from envelopes/groups, but when an envelope
+    # fails this names the stage the divergence lives in).
+    from repro.obs.critpath import stage_delta
+    span_stages = {
+        "sim": sim.get("span_stages") or {},
+        "live": live.get("span_stages") or {},
+        "delta": stage_delta(live.get("span_stages") or {},
+                             sim.get("span_stages") or {}),
+    }
+
     conformance = {
         "sim_order_violations": sim["order_violations"],
         "live_order_violations": live["order_violations"],
@@ -239,6 +267,7 @@ def diff_spec(spec: ExperimentSpec, fabric: str = "queue",
                   "order_violations", "lag")},
         "groups": groups,
         "envelopes": envelopes,
+        "span_stages": span_stages,
         "conformance": conformance,
         "ok": bool(ok),
     }

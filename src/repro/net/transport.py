@@ -163,6 +163,9 @@ class ReliableChannel:
             if obs is not None:
                 obs.gauge_max("transport.in_flight_peak", live)
         self.stats.sent += 1
+        spans = self.node.sim.spans
+        if spans is not None:
+            spans.seg_send(self.node.now, self.node.id, dst, payload, False)
         self.node.send(dst, seg)
         out.rto_event = self.node.sim.schedule(
             self.rto, self._on_timeout, dst, seq)
@@ -196,6 +199,10 @@ class ReliableChannel:
                 self.node.now, "transport.give_up",
                 src=self.node.id, dst=dst, msg_kind=out.segment.payload.kind,
             )
+            spans = self.node.sim.spans
+            if spans is not None:
+                spans.give_up(self.node.now, self.node.id, dst,
+                              out.segment.payload)
             if self.on_give_up is not None:
                 self.on_give_up(dst, out.segment.payload)
             return
@@ -204,6 +211,10 @@ class ReliableChannel:
         obs = self.node.sim.obs
         if obs is not None:
             obs.inc("transport.retransmitted")
+        spans = self.node.sim.spans
+        if spans is not None:
+            spans.seg_send(self.node.now, self.node.id, dst,
+                           out.segment.payload, True)
         self.node.send(dst, out.segment)
         out.rto_event = self.node.sim.schedule(
             self.rto, self._on_timeout, dst, seq)
@@ -250,6 +261,9 @@ class ReliableChannel:
             payload.src = msg.src
             payload.dst = msg.dst
             payload.sent_at = msg.sent_at
+            spans = self.node.sim.spans
+            if spans is not None:
+                spans.seg_recv(self.node.now, self.node.id, msg.src, payload)
             return payload
         return msg
 

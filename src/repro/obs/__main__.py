@@ -10,10 +10,22 @@ Subcommands
   dispatch cost centers first (the compiled-kernel target list).
 * ``timeline FILE`` — tabulate a ``*_timeline.jsonl.gz`` per-window
   timeline; ``--metric`` adds per-window counter/kind/gauge columns.
+* ``spans INPUT`` — assemble per-message causal span trees and report
+  completeness (every delivered message rooted, no orphan segments).
+* ``critpath INPUT`` — per-stage latency attribution: stage shares,
+  dominant stage per percentile band, retransmit overlay, per-group
+  breakdown.  On a ``live diff`` report it prints the per-stage
+  sim-vs-live delta table instead.
+* ``export-trace INPUT`` — Chrome-trace / Perfetto JSON export (load
+  the file at https://ui.perfetto.dev or chrome://tracing).
 
-Reports are produced by the ``--obs`` flag on ``python -m repro.bench``,
-``python -m repro.experiments run|sweep``, and
-``python -m repro.shard run``.
+``INPUT`` for the span commands is either a registry scenario name
+(the run happens in-process; ``--shards`` uses the space-parallel
+backend), a ``SPANS_*.jsonl[.gz]`` span-event stream, or a recorded
+trace ``*.jsonl[.gz]`` (coarse stages only — trace records carry no
+per-hop detail).  Reports are produced by the ``--obs`` / ``--spans``
+flags on ``python -m repro.bench``, ``python -m repro.experiments
+run|sweep``, and ``python -m repro.shard run``.
 
 Examples
 --------
@@ -24,13 +36,20 @@ Examples
     python -m repro.obs top obs-out/OBS_quickstart.json -n 5
     python -m repro.obs timeline obs-out/OBS_quickstart_timeline.jsonl.gz \\
         --metric transport.retransmitted --metric deliver
+    python -m repro.obs critpath handoff_storm --duration 2500
+    python -m repro.obs spans quickstart --shards 4
+    python -m repro.obs export-trace quickstart --out trace.json
+    python -m repro.obs critpath diff-report.json   # live-diff deltas
 """
 
 from __future__ import annotations
 
 import argparse
+import gzip
+import json
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.profiler import render_top
 from repro.obs.report import (load_report, load_timeline, render_summary,
@@ -69,6 +88,130 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Span subcommands
+# ----------------------------------------------------------------------
+def _spec_for(name: str, duration: Optional[float], seed: Optional[int]):
+    from repro.experiments import registry
+
+    overrides: Dict[str, Any] = {}
+    if duration is not None:
+        overrides["duration_ms"] = duration
+        if registry.entry(name).factory().warmup_ms >= duration:
+            overrides["warmup_ms"] = 0.0
+    if seed is not None:
+        overrides["seed"] = seed
+    return registry.get(name, **overrides)
+
+
+def _resolve_span_events(args: argparse.Namespace,
+                         ) -> Tuple[List[tuple], str, Dict[str, Any]]:
+    """INPUT -> (span events, display name, overlays).
+
+    An existing file is a span-event stream (lines are JSON arrays) or
+    a recorded trace (lines are JSON objects — coarse stages only);
+    anything else is a registry scenario name, run in-process.
+    """
+    from repro.obs.spans import (RATE_ENV, events_from_trace,
+                                 read_span_events)
+
+    target = args.input
+    if os.path.exists(target):
+        name = os.path.basename(target)
+        opener = gzip.open if target.endswith(".gz") else open
+        with opener(target, "rt", encoding="utf-8") as fh:
+            first = fh.readline().lstrip()
+        if first.startswith("["):
+            return read_span_events(target), name, {}
+        with opener(target, "rt", encoding="utf-8") as fh:
+            return events_from_trace(fh), name, {}
+
+    spec = _spec_for(target, args.duration, args.seed)
+    shards = getattr(args, "shards", 1) or 1
+    if args.rate is not None and shards > 1:
+        # Worker collectors read the rate from the environment.
+        os.environ[RATE_ENV] = repr(args.rate)
+    if shards > 1:
+        from repro.shard.runtime import run_sharded
+        res = run_sharded(spec, shards, spans=True)
+        return res.span_events or [], spec.name, res.span_overlays()
+    from repro.obs.spans import collect_spec
+    return collect_spec(spec, rate=args.rate), spec.name, {}
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    from repro.obs.spans import assemble, completeness, write_span_events
+
+    events, name, _ = _resolve_span_events(args)
+    spanset = assemble(events)
+    comp = completeness(spanset)
+    if args.out:
+        write_span_events(args.out, events)
+        print(f"wrote {args.out} ({len(events)} span events)")
+    print(f"{name}: {len(events):,} span events -> "
+          f"{comp['messages']:,} message span trees, "
+          f"{comp['delivered']:,} delivered "
+          f"({comp['deliveries']:,} deliveries)")
+    retx = sum(s.retransmissions() for s in spanset.spans.values())
+    print(f"retransmissions: {retx:,}")
+    if comp["ok"]:
+        print("completeness: ok — every tree rooted, no orphan events")
+        return 0
+    print(f"completeness: FAIL — {len(comp['unrooted'])} unrooted trees, "
+          f"{comp['orphan_events']} orphan events")
+    for key in comp["unrooted"][:10]:
+        print(f"  unrooted: {key}")
+    return 1
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import (critpath_summary, render_critpath,
+                                    render_stage_delta)
+
+    if args.input.endswith(".json") and os.path.exists(args.input):
+        with open(args.input, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        stages = payload.get("span_stages")
+        if isinstance(stages, dict) and "delta" in stages:
+            # A live-diff report: per-stage sim-vs-live divergence.
+            print(f"{payload.get('name', args.input)}: per-stage latency, "
+                  f"live vs sim")
+            print(render_stage_delta(stages["delta"], "live", "sim"))
+            return 0
+        if "stages" in payload and "bands" in payload:
+            # An already-computed CRITPATH_*.json summary.
+            print(render_critpath(payload, name=os.path.basename(args.input)))
+            return 0
+        raise ValueError(
+            f"{args.input} carries neither span_stages nor a critpath "
+            f"summary")
+
+    from repro.obs.spans import assemble
+    events, name, overlays = _resolve_span_events(args)
+    summary = critpath_summary(assemble(events), overlays=overlays or None)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+    print(render_critpath(summary, name=name))
+    return 0
+
+
+def cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import write_chrome_trace
+    from repro.obs.spans import assemble
+
+    events, name, _ = _resolve_span_events(args)
+    spanset = assemble(events)
+    out = args.out or f"TRACE_{name}.json"
+    n = write_chrome_trace(out, spanset,
+                           limit=args.limit if args.limit > 0 else None)
+    print(f"wrote {out} ({n} trace events; open at "
+          f"https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -97,6 +240,48 @@ def make_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--tail", type=int, default=0,
                       help="show only the last N windows")
     p_tl.set_defaults(fn=cmd_timeline)
+
+    def span_input(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input",
+                       help="registry scenario name, SPANS_*.jsonl[.gz] "
+                            "span stream, or recorded trace *.jsonl[.gz]")
+        p.add_argument("--duration", type=float, default=None, metavar="MS",
+                       help="override duration_ms (scenario input only)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the scenario seed")
+        p.add_argument("--shards", type=int, default=1, metavar="K",
+                       help="run the scenario on the space-parallel "
+                            "backend with K workers (spans are stitched "
+                            "across shard export boundaries)")
+        p.add_argument("--rate", type=float, default=None,
+                       help="sampled tracing: keep this fraction of "
+                            "messages, deterministically (default: "
+                            "REPRO_SPANS_SAMPLE or 1.0)")
+
+    p_sp = sub.add_parser("spans", help="assemble per-message span trees "
+                                        "and check completeness")
+    span_input(p_sp)
+    p_sp.add_argument("--out", default=None, metavar="FILE",
+                      help="also write the span-event stream here "
+                           "(.jsonl.gz)")
+    p_sp.set_defaults(fn=cmd_spans)
+
+    p_cp = sub.add_parser("critpath", help="per-stage latency attribution "
+                                           "(also reads live-diff reports)")
+    span_input(p_cp)
+    p_cp.add_argument("--report", default=None, metavar="FILE",
+                      help="also write the critpath summary JSON here")
+    p_cp.set_defaults(fn=cmd_critpath)
+
+    p_et = sub.add_parser("export-trace",
+                          help="Chrome-trace/Perfetto JSON export")
+    span_input(p_et)
+    p_et.add_argument("--out", default=None, metavar="FILE",
+                      help="output path (default TRACE_<name>.json)")
+    p_et.add_argument("--limit", type=int, default=200,
+                      help="max message spans to export (default 200; "
+                           "0 = all)")
+    p_et.set_defaults(fn=cmd_export_trace)
     return parser
 
 

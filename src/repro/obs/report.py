@@ -81,6 +81,8 @@ def render_summary(report: Dict[str, Any], top: int = 5) -> str:
             f"engine: {engine.get('events_processed', 0):,} processed  "
             f"peak_heap={engine.get('peak_heap', 0):,}  "
             f"compactions={engine.get('compactions', 0)}")
+    if report.get("sample_every"):
+        lines.append(f"sampling: every {report['sample_every']} dispatches")
     registry = report.get("registry") or {}
     counters = registry.get("counters") or {}
     if counters:

@@ -46,6 +46,28 @@ DEFAULT_WINDOWS = 20
 #: Wall-clock seconds between ``--progress`` heartbeat lines.
 PROGRESS_INTERVAL_S = 2.0
 
+#: Environment override for the profiler's dispatch-sampling stride.
+STRIDE_ENV = "REPRO_OBS_SAMPLE_EVERY"
+
+
+def effective_stride(stride: Optional[int] = None) -> int:
+    """Resolve the sampling stride: explicit arg > env > default.
+
+    ``REPRO_OBS_SAMPLE_EVERY=1`` times every dispatch (exact but slow);
+    larger strides cheapen observation proportionally.  The resolved
+    value is stamped into the run report as ``sample_every`` so a
+    report always says what rate produced it.
+    """
+    if stride is not None:
+        return stride
+    raw = os.environ.get(STRIDE_ENV)
+    if raw is None:
+        return DEFAULT_STRIDE
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{STRIDE_ENV} must be >= 1, got {raw!r}")
+    return value
+
 
 class ObsSession:
     """Attach-to-finish lifecycle of one observed run.
@@ -62,7 +84,10 @@ class ObsSession:
     window_ms:
         Timeline window width; defaults to ``horizon_ms / 20``.
     stride:
-        Profiler sampling stride (1 = time every event).
+        Profiler sampling stride (1 = time every event).  ``None`` (the
+        default) resolves through :func:`effective_stride` — the
+        ``REPRO_OBS_SAMPLE_EVERY`` environment override, else
+        :data:`~repro.obs.profiler.DEFAULT_STRIDE`.
     progress:
         Emit a heartbeat line (events done, ev/s, ETA) roughly every
         :data:`PROGRESS_INTERVAL_S` wall seconds, piggybacked on
@@ -72,7 +97,7 @@ class ObsSession:
 
     def __init__(self, sim, horizon_ms: float, name: str = "run",
                  window_ms: Optional[float] = None,
-                 stride: int = DEFAULT_STRIDE,
+                 stride: Optional[int] = None,
                  progress: bool = False,
                  progress_sink: Optional[TextIO] = None):
         if horizon_ms <= 0:
@@ -85,7 +110,7 @@ class ObsSession:
         self.window_ms = window_ms if window_ms is not None \
             else horizon_ms / DEFAULT_WINDOWS
         self.registry = MetricsRegistry()
-        self.profiler = DispatchProfiler(stride)
+        self.profiler = DispatchProfiler(effective_stride(stride))
         self.rows: List[Dict[str, Any]] = []
         self.events_total = 0
         self._stride = self.profiler.stride
@@ -254,6 +279,7 @@ class ObsSession:
             "windows": len(self.rows),
             "events": self.events_total,
             "wall_s": round(self.wall_s, 6),
+            "sample_every": self._stride,
             "engine": {
                 "events_processed": sim.events_processed,
                 "peak_heap": sim.peak_heap,
@@ -298,4 +324,5 @@ def write_artifacts(report: Dict[str, Any], rows: List[Dict[str, Any]],
 
 
 __all__ = ["OBS_SCHEMA", "DEFAULT_WINDOWS", "PROGRESS_INTERVAL_S",
-           "ObsSession", "write_artifacts"]
+           "STRIDE_ENV", "ObsSession", "effective_stride",
+           "write_artifacts"]

@@ -29,9 +29,9 @@ unchanged on any implementation:
     backend these drive causal-key derivation and shard gating; a live
     runtime only tracks the owner label.
 
-Implementations also carry ``gate``/``shard``/``obs``/``obs_hook``
-attributes (default ``None``); instrumented code null-checks them, so a
-backend that never sets them pays nothing.
+Implementations also carry ``gate``/``shard``/``obs``/``obs_hook``/
+``spans`` attributes (default ``None``); instrumented code null-checks
+them, so a backend that never sets them pays nothing.
 """
 
 from __future__ import annotations
@@ -67,6 +67,11 @@ class Runtime:
     shard = None
     obs = None
     obs_hook = None
+    #: Out-of-band span sink (:class:`repro.obs.spans.SpanCollector`);
+    #: the transport layer calls ``spans.seg_send/seg_recv/give_up``
+    #: when set.  Like ``obs``, a run without one executes zero span
+    #: code beyond this null check.
+    spans = None
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -79,6 +79,9 @@ class ShardRunResult:
     #: Assembled obs run report / timeline rows (``obs=True`` runs only).
     obs_report: Optional[Dict[str, Any]] = None
     obs_timeline: Optional[List[Dict[str, Any]]] = None
+    #: Merged span events across shards (``spans=True`` runs only);
+    #: assemble with :func:`repro.obs.spans.assemble`.
+    span_events: Optional[List[Tuple]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -109,6 +112,22 @@ class ShardRunResult:
             "build_s": round(self.build_s, 6),
             "events_per_sec": round(self.events_per_sec, 1),
         }
+
+    def span_overlays(self) -> Dict[str, Any]:
+        """Run-level pseudo-stages for the critpath summary.
+
+        Window-stall time is wall-clock coordination cost, a property
+        of the sharded run rather than of any message's logical
+        latency, so it reports as an overlay instead of a stage.
+        """
+        if self.n_shards <= 1:
+            return {}
+        return {"window_stall": {
+            "wall_ms_total": round(sum(self.barrier_wait_s) * 1e3, 3),
+            "stalled_windows_per_shard": list(self.stalled_windows),
+            "barrier_wait_s_per_shard": [round(b, 6)
+                                         for b in self.barrier_wait_s],
+        }}
 
 
 # ----------------------------------------------------------------------
@@ -226,7 +245,8 @@ def _windowed_run(sim, ctx: ShardContext, fabric, conn,
 
 
 def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
-                 shard_id: int, record: bool, obs: bool = False) -> None:
+                 shard_id: int, record: bool, obs: bool = False,
+                 spans: bool = False) -> None:
     try:
         from repro.experiments.runner import build_scenario
         from repro.sim.engine import Simulator
@@ -244,6 +264,15 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
         sim.gate = ctx.is_local
         sim.trace.gate = ctx.emission_gate
         recorder = KeyedRecorder(sim.trace) if record else None
+        collector = None
+        if spans:
+            # The trace gate masks subscriber callbacks to locally-owned
+            # records, and transport hooks only fire inside owner-gated
+            # events, so each span event lands on exactly one shard —
+            # the merged streams equal the sequential collection.
+            from repro.obs.spans import SpanCollector
+            collector = SpanCollector()
+            collector.attach(sim.trace)
 
         t0 = time.perf_counter()
         scenario = build_scenario(spec, sim=sim)
@@ -306,6 +335,7 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
             "exported": ctx.exported,
             "export_q_peak": ctx.export_q_peak,
             "obs": obs_payload,
+            "spans": collector.events if collector is not None else None,
             "peak_heap": sim.peak_heap,
             "compactions": sim.compactions,
             "migrations": ctx.migrations,
@@ -345,7 +375,8 @@ def _merge_probe_data(kind: str, datas: List[Any]) -> Any:
 
 
 def _sequential_result(spec: ExperimentSpec, record: bool,
-                       obs: bool = False) -> ShardRunResult:
+                       obs: bool = False,
+                       spans: bool = False) -> ShardRunResult:
     """The exact sequential engine path, packaged as a 1-shard result."""
     from repro.experiments.runner import build_scenario
     from repro.sim.engine import Simulator
@@ -354,6 +385,11 @@ def _sequential_result(spec: ExperimentSpec, record: bool,
 
     sim = Simulator(seed=spec.seed, trace=TraceBus(counting=record))
     recorder = TraceRecorder(sim.trace) if record else None
+    collector = None
+    if spans:
+        from repro.obs.spans import SpanCollector
+        collector = SpanCollector()
+        collector.attach(sim.trace)
     t0 = time.perf_counter()
     scenario = build_scenario(spec, sim=sim)
     session = None
@@ -368,6 +404,8 @@ def _sequential_result(spec: ExperimentSpec, record: bool,
         session.finish()
     if recorder is not None:
         recorder.detach()
+    if collector is not None:
+        collector.detach()
     net = scenario.net
     result = ShardRunResult(
         n_shards=1,
@@ -393,6 +431,8 @@ def _sequential_result(spec: ExperimentSpec, record: bool,
     if session is not None:
         result.obs_report = session.report()
         result.obs_timeline = list(session.rows)
+    if collector is not None:
+        result.span_events = collector.events
     return result
 
 
@@ -423,7 +463,8 @@ def _assemble_obs(result: ShardRunResult, spec: ExperimentSpec,
 
 
 def run_sharded(spec: ExperimentSpec, shards: int,
-                record: bool = False, obs: bool = False) -> ShardRunResult:
+                record: bool = False, obs: bool = False,
+                spans: bool = False) -> ShardRunResult:
     """Run one spec on ``shards`` worker processes.
 
     ``record=True`` captures every shard's keyed trace stream and
@@ -437,11 +478,18 @@ def run_sharded(spec: ExperimentSpec, shards: int,
     :attr:`ShardRunResult.obs_timeline` (rows tagged with ``shard``).
     Because observability never touches the trace stream, ``record``
     and ``obs`` compose freely.
+
+    ``spans=True`` attaches one out-of-band
+    :class:`~repro.obs.spans.SpanCollector` per worker; each shard
+    collects only the events its gate admits, and the coordinator
+    merges the streams into :attr:`ShardRunResult.span_events` in a
+    deterministic order (time, event code, fields), so the merged
+    stream assembles identically to a sequential collection.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards == 1:
-        return _sequential_result(spec, record, obs=obs)
+        return _sequential_result(spec, record, obs=obs, spans=spans)
 
     plan = partition_spec(spec, shards)
     mp = multiprocessing.get_context()
@@ -451,7 +499,8 @@ def run_sharded(spec: ExperimentSpec, shards: int,
         parent_conn, child_conn = mp.Pipe()
         proc = mp.Process(
             target=_worker_main,
-            args=(child_conn, spec.to_dict(), plan, shard_id, record, obs),
+            args=(child_conn, spec.to_dict(), plan, shard_id, record, obs,
+                  spans),
             daemon=True,
         )
         proc.start()
@@ -463,6 +512,7 @@ def run_sharded(spec: ExperimentSpec, shards: int,
                             horizon=spec.duration_ms)
     entries_per_shard: List[Optional[list]] = [None] * shards
     obs_per_shard: List[Optional[Dict[str, Any]]] = [None] * shards
+    spans_per_shard: List[Optional[list]] = [None] * shards
     done = [False] * shards
 
     def recv(i: int) -> Dict[str, Any]:
@@ -520,6 +570,7 @@ def run_sharded(spec: ExperimentSpec, shards: int,
                             result.trace_counts.get(kind, 0) + n
                     entries_per_shard[i] = m["entries"]
                     obs_per_shard[i] = m["obs"]
+                    spans_per_shard[i] = m["spans"]
                 break
             if len(kinds) != 1:  # pragma: no cover - invariant
                 raise RuntimeError(f"shards desynchronized: {kinds}")
@@ -562,6 +613,17 @@ def run_sharded(spec: ExperimentSpec, shards: int,
                 [e for e in entries_per_shard if e is not None])
         if obs:
             _assemble_obs(result, spec, obs_per_shard)
+        if spans:
+            # Stitch per-shard span streams across the export
+            # boundaries: assembly is order-independent, but a stable
+            # merged order keeps streamed artifacts byte-comparable.
+            merged_spans = [tuple(ev)
+                            for events in spans_per_shard if events
+                            for ev in events]
+            merged_spans.sort(
+                key=lambda ev: (ev[1], ev[0],
+                                tuple(str(x) for x in ev[2:])))
+            result.span_events = merged_spans
     finally:
         for proc in procs:
             if proc.is_alive():

@@ -193,6 +193,7 @@ class Simulator(Runtime):
         self.shard = None
         self.obs = None
         self.obs_hook = None
+        self.spans = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives

@@ -103,10 +103,13 @@ def test_obs_module_never_emits_or_schedules():
     event heap (AST-level, so docstrings don't false-positive)."""
     import ast
     import inspect
+    import repro.obs.critpath
     import repro.obs.profiler
     import repro.obs.session
+    import repro.obs.spans
     forbidden = {"emit", "schedule", "schedule_at", "timer"}
-    for mod in (obs_registry, repro.obs.profiler, repro.obs.session):
+    for mod in (obs_registry, repro.obs.profiler, repro.obs.session,
+                repro.obs.spans, repro.obs.critpath):
         tree = ast.parse(inspect.getsource(mod))
         for node in ast.walk(tree):
             if isinstance(node, ast.Call) \
