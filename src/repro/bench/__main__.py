@@ -48,7 +48,8 @@ def _print_result(r: BenchResult) -> None:
         line += f"  streamed={r.trace_records} records"
     if r.shard_stats is not None:
         line += (f"  windows={r.shard_stats['windows']} "
-                 f"stalls={r.shard_stats['window_stalls']}")
+                 f"stalls={r.shard_stats['window_stalls']} "
+                 f"rebalances={r.shard_stats.get('rebalances', 0)}")
     if r.speedup is not None:
         line += f"  speedup={r.speedup:.2f}x"
     if r.checked:
@@ -69,6 +70,11 @@ def _print_comparison(cmp, threshold: float, current_label: str,
         for name, rows in cmp.span_tables.items():
             print(f"per-stage latency, {name} (informational):")
             print(render_stage_delta(rows, current_label, baseline_label))
+    if getattr(cmp, "shard_tables", None):
+        from repro.bench.compare import render_shard_table
+        for name, rows in cmp.shard_tables.items():
+            print(f"per-shard stall causes, {name} (informational):")
+            print(render_shard_table(rows))
     for only in cmp.only_current:
         print(f"  {only}: only in {current_label} (skipped)")
     for only in cmp.only_baseline:

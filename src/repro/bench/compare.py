@@ -92,6 +92,13 @@ class ComparisonReport:
     span_tables: Dict[str, List[Dict[str, Any]]] = field(
         default_factory=dict)
 
+    #: Per-shard stall attribution rows (:func:`shard_stall_rows`) for
+    #: every current-side entry carrying sharded ``stall_causes`` —
+    #: *why* each shard stalled (lookahead / probe / idle), next to its
+    #: event share and barrier wait.  Informational only.
+    shard_tables: Dict[str, List[Dict[str, Any]]] = field(
+        default_factory=dict)
+
     @property
     def regressions(self) -> List[Delta]:
         return [d for d in self.deltas if d.regressed(self.threshold)]
@@ -116,6 +123,8 @@ class ComparisonReport:
             "mem_skipped": list(self.mem_skipped),
             "span_tables": {name: list(rows)
                             for name, rows in self.span_tables.items()},
+            "shard_tables": {name: list(rows)
+                             for name, rows in self.shard_tables.items()},
         }
 
 
@@ -137,6 +146,68 @@ def _rss_by_name(report: Mapping[str, Any]) -> Dict[str, float]:
         rss = float(entry.get("peak_rss", 0) or 0)
         if rss > 0:
             out[str(entry["name"])] = rss
+    return out
+
+
+def shard_stall_rows(stats: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-shard stall-attribution rows from a ``shard`` stats dict.
+
+    One row per shard: its event share, stall count broken down by
+    cause (``lookahead`` = work existed beyond the granted boundary,
+    ``probe`` = blocked on a pending probe barrier, ``idle`` = heap
+    empty), barrier wait and wall split.  This is the diagnostic that
+    says *why* a sharded run failed to scale.
+    """
+    causes = stats.get("stall_causes") or []
+    events = stats.get("shard_events") or []
+    stalls = stats.get("window_stalls_per_shard") or []
+    barrier = stats.get("barrier_wait_s") or []
+    walls = stats.get("shard_wall_s") or []
+
+    def at(seq, i):
+        return seq[i] if i < len(seq) else None
+
+    rows = []
+    for i, cause in enumerate(causes):
+        cause = cause or {}
+        rows.append({
+            "shard": i,
+            "events": at(events, i),
+            "stalls": at(stalls, i),
+            "lookahead": int(cause.get("lookahead", 0)),
+            "probe": int(cause.get("probe", 0)),
+            "idle": int(cause.get("idle", 0)),
+            "barrier_wait_s": at(barrier, i),
+            "wall_s": at(walls, i),
+        })
+    return rows
+
+
+def render_shard_table(rows: List[Mapping[str, Any]]) -> str:
+    """Fixed-width text rendering of :func:`shard_stall_rows` output."""
+    header = (f"  {'shard':>5} {'events':>10} {'stalls':>7} "
+              f"{'lookahead':>9} {'probe':>6} {'idle':>5} "
+              f"{'barrier_s':>10} {'wall_s':>8}")
+    lines = [header]
+    for r in rows:
+        def fmt(v, spec):
+            return format(v, spec) if v is not None else "-"
+        lines.append(
+            f"  {r['shard']:>5} {fmt(r.get('events'), ','):>10} "
+            f"{fmt(r.get('stalls'), ''):>7} {r['lookahead']:>9} "
+            f"{r['probe']:>6} {r['idle']:>5} "
+            f"{fmt(r.get('barrier_wait_s'), '.3f'):>10} "
+            f"{fmt(r.get('wall_s'), '.3f'):>8}")
+    return "\n".join(lines)
+
+
+def _shard_stats_by_name(
+        report: Mapping[str, Any]) -> Dict[str, Mapping[str, Any]]:
+    out: Dict[str, Mapping[str, Any]] = {}
+    for entry in report.get("results") or []:
+        stats = entry.get("shard")
+        if isinstance(stats, dict) and stats.get("stall_causes"):
+            out[str(entry["name"])] = stats
     return out
 
 
@@ -204,4 +275,6 @@ def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
             from repro.obs.critpath import stage_delta  # lazy: optional layer
             report.span_tables[name] = stage_delta(cur_spans[name],
                                                    base_spans[name])
+    for name, stats in _shard_stats_by_name(current).items():
+        report.shard_tables[name] = shard_stall_rows(stats)
     return report

@@ -29,7 +29,8 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.shard.partition import cut_edges, lookahead_of, partition_spec
+from repro.shard.partition import (cut_edges, latency_matrix, lookahead_of,
+                                   min_lookahead, partition_spec)
 from repro.shard.runtime import run_sharded
 
 
@@ -38,20 +39,52 @@ def _spec(args: argparse.Namespace):
     return spec_for_args(args)
 
 
+def _observed_loads(path: str, scenario: str,
+                    n_shards: int) -> Optional[list]:
+    """Per-shard event counts from a ``BENCH_*.json`` sharded entry.
+
+    Prefers an entry whose name mentions the scenario; falls back to
+    any entry measured at the same shard count.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    candidates = []
+    for entry in report.get("results") or []:
+        stats = entry.get("shard") or {}
+        events = stats.get("shard_events")
+        if entry.get("shards") == n_shards and events:
+            candidates.append((str(entry.get("name", "")), events))
+    for name, events in candidates:
+        if scenario in name:
+            return events
+    return candidates[0][1] if candidates else None
+
+
 # ----------------------------------------------------------------------
 def cmd_partition(args: argparse.Namespace) -> int:
     from repro.experiments.runner import build_scenario
 
     spec = _spec(args)
-    plan = partition_spec(spec, args.shards)
+    plan = partition_spec(spec, args.shards, partitioner=args.partitioner)
     scenario = build_scenario(spec)
     cut = cut_edges(scenario.net.fabric, plan)
     lookahead = lookahead_of(cut)
+    wireless = getattr(scenario.net, "wireless", None)
+    matrix = latency_matrix(
+        scenario.net.fabric, plan,
+        wireless_floor=wireless.latency if wireless is not None else None)
+    observed = (_observed_loads(args.bench_report, spec.name, args.shards)
+                if args.bench_report else None)
     if args.json:
         payload = plan.to_dict()
         payload["cut_edges"] = [list(edge) for edge in cut]
         payload["lookahead_ms"] = None if lookahead == float("inf") \
             else lookahead
+        payload["lookahead_matrix_ms"] = [
+            [None if v == float("inf") else v for v in row]
+            for row in matrix]
+        if observed is not None:
+            payload["observed_events"] = list(observed)
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
         return 0
@@ -59,10 +92,18 @@ def cmd_partition(args: argparse.Namespace) -> int:
           f"{plan.n_shards} shards")
     for shard in range(plan.n_shards):
         brs = sorted(br for br, s in plan.subtree_shard.items() if s == shard)
-        print(f"  shard {shard}: weight={plan.weights[shard]:4d}  "
-              f"subtrees={', '.join(brs) if brs else '(empty)'}")
-    print(f"  cut edges: {len(cut)}  lookahead: "
-          f"{'unbounded' if lookahead == float('inf') else f'{lookahead}ms'}")
+        line = (f"  shard {shard}: weight={plan.weights[shard]:4d}  ")
+        if observed is not None and shard < len(observed):
+            line += f"observed_events={observed[shard]:,}  "
+        line += f"subtrees={', '.join(brs) if brs else '(empty)'}"
+        print(line)
+    if observed is not None:
+        lo, hi = min(observed), max(observed)
+        print(f"  observed balance: {hi / lo:.2f}x max/min"
+              if lo else "  observed balance: n/a (empty shard)")
+    print(f"  cut edges: {len(cut)}  lookahead floor: "
+          f"{'unbounded' if lookahead == float('inf') else f'{lookahead}ms'}"
+          f"  matrix min: {min_lookahead(matrix)}ms")
     return 0
 
 
@@ -90,7 +131,9 @@ def _print_shard_table(result) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec(args)
     result = run_sharded(spec, args.shards, record=args.record is not None,
-                         obs=args.obs is not None)
+                         obs=args.obs is not None,
+                         partitioner=args.partitioner,
+                         rebalancer=args.rebalancer)
     stats = result.stats_dict()
     for key, value in stats.items():
         print(f"  {key}: {value}")
@@ -122,13 +165,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     status = 0
     for k in shard_counts:
         print(f"recording {spec.name} with {k} shards ...", flush=True)
-        result = run_sharded(spec, k, record=True)
+        result = run_sharded(spec, k, record=True,
+                             partitioner=args.partitioner,
+                             rebalancer=args.rebalancer)
         div = first_divergence(seq.lines, result.merged_lines or [])
         if div is None:
             print(f"  shards={k}: byte-identical "
                   f"({len(result.merged_lines or [])} records, "
                   f"{result.windows} windows, "
-                  f"{sum(result.stalled_windows)} stalls)")
+                  f"{sum(result.stalled_windows)} stalls, "
+                  f"{result.rebalances} rebalances)")
         else:
             status = 1
             print(f"  shards={k}: DIVERGED at {div.describe()}")
@@ -142,6 +188,14 @@ def _add_spec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--set", action="append", metavar="KEY=VALUE",
                    help="dotted-path spec override, repeatable")
+    p.add_argument("--partitioner", default=None, metavar="NAME",
+                   help="partition strategy: balanced (default) or lpt")
+
+
+def _add_rebalancer_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--rebalancer", default=None, metavar="NAME",
+                   help="ownership-move strategy: load-aware (default) "
+                        "or none")
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -156,10 +210,16 @@ def make_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--shards", type=int, default=2, metavar="K")
     p_part.add_argument("--json", action="store_true",
                         help="dump the full plan as JSON")
+    p_part.add_argument("--bench-report", default=None, metavar="FILE",
+                        dest="bench_report",
+                        help="BENCH_*.json with a sharded entry at the "
+                             "same shard count: print observed per-shard "
+                             "event loads next to the node-count weights")
     p_part.set_defaults(fn=cmd_partition)
 
     p_run = sub.add_parser("run", help="run on K worker processes")
     _add_spec_args(p_run)
+    _add_rebalancer_arg(p_run)
     p_run.add_argument("--shards", type=int, default=2, metavar="K")
     p_run.add_argument("--record", default=None, metavar="FILE",
                        help="write the merged canonical trace (JSONL)")
@@ -174,6 +234,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser(
         "compare", help="assert sharded trace == sequential trace")
     _add_spec_args(p_cmp)
+    _add_rebalancer_arg(p_cmp)
     p_cmp.add_argument("--shards", default="2", metavar="K[,K2,...]",
                        help="shard counts to verify (default 2)")
     p_cmp.set_defaults(fn=cmd_compare)

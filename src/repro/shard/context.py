@@ -34,17 +34,25 @@ class ShardContext:
         self.n_shards = plan.n_shards
         self.sim = sim
         self._shard_of: Dict[NodeId, int] = dict(plan.shard_of)
-        #: Cross-shard messages produced since the last sync:
-        #: ``(dest_shard, time, key, dst, msg)``.
-        self.outbox: List[Tuple[int, float, int, NodeId, Any]] = []
+        #: Cross-shard messages produced since the last sync, batched
+        #: per destination shard: ``dest → [(time, key, dst, msg), …]``.
+        #: Batches travel the coordinator pipe as one object per
+        #: destination instead of one per message.
+        self.outbox: Dict[int, List[Tuple[float, int, NodeId, Any]]] = {}
+        self._outbox_depth = 0
         #: Pending synchronization probes: ``(time, key, kind, event)``.
         self._probes: List[Tuple[float, int, str, Any]] = []
         self._probe_result: Any = None
         #: Probe gather functions by kind, bound by the runtime.
         self.gatherers: Dict[str, Callable[[], Any]] = {}
-        #: Lookahead (set by the runtime once the fabric exists); only
-        #: used to assert the bounded-lag invariant on every export.
+        #: Scalar lookahead floor (minimum over the matrix), kept for
+        #: reporting; the per-destination row below is what the export
+        #: bound actually checks.
         self.lookahead: float = 0.0
+        #: Per-destination lookahead row ``L[self][dest]`` (set by the
+        #: runtime once the fabric exists); asserts the bounded-lag
+        #: invariant on every export.
+        self.lookahead_to: Optional[List[float]] = None
         #: Cross-shard handoff notes since the last sync, recorded by
         #: the owning shard: ``(time, mh, old_ap, new_ap, new_shard)``.
         self.migration_notes: List[Tuple[float, NodeId, NodeId, NodeId, int]] = []
@@ -74,6 +82,16 @@ class ShardContext:
         """
         self._shard_of[node] = self._shard_of[alongside]
 
+    def apply_moves(self, moves) -> None:
+        """Apply rebalance ownership moves to the local map.
+
+        Called on *every* shard at a rebalance barrier (the decision is
+        replicated), so the maps stay identical; the state handoff
+        itself happens only on the two shards involved.
+        """
+        for mv in moves:
+            self._shard_of[mv.mh] = mv.to_shard
+
     def emission_gate(self) -> bool:
         """Trace-bus gate: may the current context emit?
 
@@ -101,22 +119,27 @@ class ShardContext:
         ``time - now``, which loses a ulp to float rounding exactly when
         the delay equals the lookahead.
         """
-        if delay < self.lookahead:
+        dest = self._shard_of[dst]
+        bound = (self.lookahead_to[dest] if self.lookahead_to is not None
+                 else self.lookahead)
+        if delay < bound:
             raise RuntimeError(
-                f"bounded-lag violation: export arriving {delay}ms ahead, "
-                f"lookahead {self.lookahead}ms — partition assumption "
-                f"broken")
-        self.outbox.append((self._shard_of[dst], time, key, dst, msg))
+                f"bounded-lag violation: export to shard {dest} arriving "
+                f"{delay}ms ahead, lookahead {bound}ms — partition "
+                f"assumption broken")
+        self.outbox.setdefault(dest, []).append((time, key, dst, msg))
         self.exported += 1
-        depth = len(self.outbox)
-        if depth > self.export_q_peak:
-            self.export_q_peak = depth
+        self._outbox_depth += 1
+        if self._outbox_depth > self.export_q_peak:
+            self.export_q_peak = self._outbox_depth
             obs = self.sim.obs
             if obs is not None:
-                obs.gauge_max("shard.export_q_peak", depth)
+                obs.gauge_max("shard.export_q_peak", self._outbox_depth)
 
-    def take_outbox(self) -> List[Tuple[int, float, int, NodeId, Any]]:
-        out, self.outbox = self.outbox, []
+    def take_outbox(self) -> Dict[int, List[Tuple[float, int, NodeId, Any]]]:
+        """Drain the per-destination export batches queued since last sync."""
+        out, self.outbox = self.outbox, {}
+        self._outbox_depth = 0
         return out
 
     def take_migration_notes(self):

@@ -1,0 +1,212 @@
+"""MH state handoff for shard-ownership rebalancing.
+
+When the rebalancer moves a mobile host to another shard, *everything
+the owner shard knows about it* must travel: the replicated ownership
+map flips on every shard, but the MH's protocol state — message queue,
+reliable-channel book-keeping, pending timer and arrival events, the
+per-entity RNG stream positions — lives only on the old owner.  Trace
+identity across shard counts (the repo's core oracle) demands the move
+be invisible: the MH must execute exactly the same events with exactly
+the same ``(time, key)`` and the same random draws on its new shard as
+it would have sequentially.
+
+:func:`collect` runs on the old owner at the rebalance barrier and
+returns one picklable blob; :func:`restore` runs on the new owner at
+the same virtual instant.  Both shards hold the MH *object* already —
+entity creation is replicated control-plane code — so restore is pure
+state surgery, never construction.
+
+The collector is deliberately loud: a pending event it does not
+recognize raises instead of being dropped, because a silently lost
+event is a trace divergence diagnosed hours later.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.address import NodeId
+from repro.net.transport import _Outstanding
+
+#: Per-entity RNG stream name patterns an MH draws from.
+_STREAM_PATTERNS = ("link.loss.{}", "link.jitter.{}", "fault.ge.{}")
+
+#: MobileHost slots shipped verbatim (picklable scalars/containers).
+_MH_FIELDS = ("luid", "ap", "is_member", "app_log", "tombstones",
+              "handoffs", "last_delivery_at", "_delivered_n",
+              "_attach_epoch", "_gap_state")
+
+
+def _stream_state(gen) -> Tuple[str, Any]:
+    bg = getattr(gen, "bit_generator", None)
+    if bg is not None:
+        return ("numpy", bg.state)
+    return ("py", gen._random.getstate())
+
+
+def _restore_stream(gen, kind: str, state: Any) -> None:
+    bg = getattr(gen, "bit_generator", None)
+    if kind == "numpy":
+        if bg is None:  # pragma: no cover - homogeneous workers
+            raise RuntimeError("numpy stream state on a non-numpy worker")
+        bg.state = state
+    else:
+        if bg is not None:  # pragma: no cover - homogeneous workers
+            raise RuntimeError("pure-python stream state on a numpy worker")
+        gen._random.setstate(state)
+
+
+def collect(sim, net, mh_id: NodeId) -> Dict[str, Any]:
+    """Extract (and deactivate) one MH's migratable state on the old owner.
+
+    Pending events owned by the MH are classified — channel RTO timers,
+    the gap periodic timer, in-flight fabric arrivals — recorded as
+    ``(time, key)`` descriptors, and cancelled locally.  Anything else
+    in the heap under this owner is a bug and raises.
+    """
+    mh = net.mobile_hosts[mh_id]
+    chan = mh.chan
+    gap = mh._gap_timer
+    fabric = net.fabric
+
+    outstanding: List[Tuple[NodeId, int, Any, int, Optional[Tuple[float, int]]]] = []
+    live_rto = 0
+    for (dst, seq), out in sorted(chan._outstanding.items()):
+        ev = out.rto_event
+        desc: Optional[Tuple[float, int]] = None
+        if ev is not None and not ev.cancelled and ev.in_heap:
+            desc = (ev.time, ev.key)
+            live_rto += 1
+        outstanding.append((dst, seq, out.segment, out.retries_left, desc))
+
+    gap_ev = gap._event
+    gap_desc: Optional[Tuple[float, int]] = None
+    if gap_ev is not None and not gap_ev.cancelled and gap_ev.in_heap:
+        gap_desc = (gap_ev.time, gap_ev.key)
+
+    arrivals: List[Tuple[float, int, Any]] = []
+    seen_chan = 0
+    seen_gap = 0
+    to_cancel = []
+    for _, _, ev in sim._heap:
+        if ev.cancelled or not ev.in_heap or ev.owner != mh_id:
+            continue
+        fn = ev.fn
+        bound = getattr(fn, "__self__", None)
+        if bound is chan:
+            seen_chan += 1
+        elif bound is gap:
+            seen_gap += 1
+        elif bound is fabric and getattr(fn, "__name__", "") == "_arrive":
+            arrivals.append((ev.time, ev.key, ev.args[1]))
+        else:
+            raise RuntimeError(
+                f"cannot migrate {mh_id!r}: unrecognized pending event "
+                f"{fn!r} at t={ev.time}")
+        to_cancel.append(ev)
+    if seen_chan != live_rto or seen_gap != (0 if gap_desc is None else 1):
+        raise RuntimeError(
+            f"cannot migrate {mh_id!r}: timer book-keeping out of sync "
+            f"(heap rto={seen_chan} vs {live_rto}, "
+            f"gap={seen_gap} vs {gap_desc})")
+    for ev in to_cancel:
+        sim.cancel(ev)
+    if gap_ev is not None:
+        gap._event = None
+
+    streams: Dict[str, Tuple[str, Any]] = {}
+    for pat in _STREAM_PATTERNS:
+        name = pat.format(mh_id)
+        if name in sim.streams:
+            streams[name] = _stream_state(sim.streams.get(name))
+
+    ge_bad: Dict[int, bool] = {}
+    overlay = fabric.fault_overlay
+    if overlay is not None:
+        for idx, entry in sorted(overlay._bursts.items()):
+            chain = entry.chains.get(mh_id)
+            if chain is not None:
+                ge_bad[idx] = chain.bad
+
+    arrivals.sort()
+    return {
+        "mh": mh_id,
+        "fields": {name: getattr(mh, name) for name in _MH_FIELDS},
+        "node": {"alive": mh.alive, "rx_count": mh.rx_count,
+                 "tx_count": mh.tx_count},
+        "mq": mh.mq,
+        "chan": {
+            "stats": chan.stats,
+            "next_seq": chan._next_seq,
+            "seen_floor": chan._seen_floor,
+            "seen_sparse": chan._seen_sparse,
+            "in_flight": chan._in_flight_by_dst,
+            "peak_in_flight": chan.peak_in_flight_by_dst,
+            "outstanding": outstanding,
+        },
+        "gap_timer": {"fires": gap.fires, "event": gap_desc},
+        "arrivals": arrivals,
+        "streams": streams,
+        "ge_bad": ge_bad,
+    }
+
+
+def restore(sim, net, blob: Dict[str, Any]) -> None:
+    """Install a collected MH state on the new owner.
+
+    Event descriptors are re-scheduled through ``schedule_keyed`` with
+    their original ``(time, key)`` — all of them sit at or beyond the
+    rebalance barrier time, which is at or beyond this worker's clock,
+    so re-admission cannot violate causality.
+    """
+    mh_id = blob["mh"]
+    mh = net.mobile_hosts[mh_id]
+    chan = mh.chan
+    gap = mh._gap_timer
+
+    for name, val in blob["fields"].items():
+        setattr(mh, name, val)
+    node = blob["node"]
+    mh.alive = node["alive"]
+    mh.rx_count = node["rx_count"]
+    mh.tx_count = node["tx_count"]
+    mh.mq = blob["mq"]
+
+    ch = blob["chan"]
+    chan.stats = ch["stats"]
+    chan._next_seq = dict(ch["next_seq"])
+    chan._seen_floor = dict(ch["seen_floor"])
+    chan._seen_sparse = {k: set(v) for k, v in ch["seen_sparse"].items()}
+    chan._in_flight_by_dst = dict(ch["in_flight"])
+    chan.peak_in_flight_by_dst = dict(ch["peak_in_flight"])
+    chan._outstanding = {}
+    for dst, seq, segment, retries_left, desc in ch["outstanding"]:
+        out = _Outstanding(dst, segment, retries_left)
+        chan._outstanding[(dst, seq)] = out
+        if desc is not None:
+            t, k = desc
+            out.rto_event = sim.schedule_keyed(
+                t, k, mh_id, chan._on_timeout, dst, seq)
+
+    gt = blob["gap_timer"]
+    if gap._event is not None:  # pragma: no cover - defensive
+        sim.cancel(gap._event)
+        gap._event = None
+    gap.fires = gt["fires"]
+    if gt["event"] is not None:
+        t, k = gt["event"]
+        gap._event = sim.schedule_keyed(t, k, mh_id, gap._fire)
+
+    fabric = net.fabric
+    for t, k, msg in blob["arrivals"]:
+        sim.schedule_keyed(t, k, mh_id, fabric._arrive, mh_id, msg)
+
+    for name, (kind, state) in blob["streams"].items():
+        _restore_stream(sim.streams.get(name), kind, state)
+
+    overlay = fabric.fault_overlay
+    if overlay is not None:
+        for idx, bad in blob["ge_bad"].items():
+            entry = overlay._bursts.get(idx)
+            if entry is not None:
+                entry.chain_for(mh_id).bad = bad

@@ -1,23 +1,41 @@
-"""Topology partitioner: BR subtrees → shards, MHs ride with their APs.
+"""Topology partitioners and ownership rebalancers for sharded runs.
 
-The partition unit is a **BR subtree** — one top-ring member plus every
-NE below it (AG rings, nested AG rings in deep hierarchies, APs) plus
-the MHs initially attached under it.  Subtrees are indivisible on
-purpose: all the chatty tree traffic (parent→child delivery, membership
-relay, path reservations) stays shard-local, and only top-ring traffic
-(token passes, ring forwarding between BRs) and roaming MHs cross
-shards.  Both cross on provisioned fabric links with positive latency,
-which is exactly what gives the conservative runtime its lookahead.
+The partition unit is a **subtree** of the RingNet hierarchy — the
+paper's self-similarity ("if we consider each logical ring as one node,
+the RingNet hierarchy becomes a tree") means any closed subtree keeps
+the chatty tree traffic (parent→child delivery, membership relay, path
+reservations) shard-local, while cross-shard traffic rides provisioned
+fabric links with positive latency — exactly what gives the
+conservative runtime its lookahead.
 
-Assignment is greedy LPT (heaviest subtree first onto the lightest
-shard), deterministic under ties, so every worker — and the coordinator
-— derives the identical plan independently.
+Two partitioners implement the :class:`Partitioner` interface:
+
+* :class:`LPTPartitioner` — the original greedy LPT over whole BR
+  subtrees (heaviest first onto the lightest shard).
+* :class:`BalancedPartitioner` (default) — starts from BR subtrees and,
+  when the resulting load imbalance exceeds a threshold (or shards
+  would sit empty), splits every BR subtree one ring level down into
+  the BR core plus one unit per child-ring member, then re-runs LPT.
+  On the symmetric topologies this turns a 2.0x max/min event split
+  into ~1.0x without giving up co-location of any subtree's traffic.
+
+Ownership is not static either: a :class:`Rebalancer` proposes MH
+ownership *moves* at window boundaries, consumed by the runtime as
+replicated control-plane decisions with explicit state handoff.  The
+built-in :class:`LoadAwareRebalancer` chases MH→AP co-location (an MH
+that handed off to an AP on another shard should follow it) while
+refusing moves that would pile more load onto an already-hot shard.
+
+Both partitioners and rebalancers are deterministic: every worker and
+the coordinator derive identical plans and identical move lists from
+identical inputs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (AbstractSet, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.net.address import NodeId
 from repro.topology.hierarchy import Hierarchy
@@ -36,14 +54,16 @@ class PartitionPlan:
     ----------
     n_shards:
         Requested shard count.  Shards may be empty when the topology
-        has fewer BR subtrees than shards (they simply idle).
+        has fewer partition units than shards (they simply idle).
     shard_of:
         Node id → shard index, covering every NE and every initially
         attached MH.  Entities created during the run (sources, churn
         MHs) are adopted into the map by the runtime via
         :meth:`repro.shard.context.ShardContext.adopt`.
     subtree_shard:
-        BR id → shard index (the assignment's coarse form).
+        Unit root id → shard index (the assignment's coarse form).
+        Roots are BRs for coarse plans; a split plan adds the child
+        subtree roots the balancer carved out.
     weights:
         Node count per shard (NEs + MHs), the balance the LPT greedy
         optimized.
@@ -59,8 +79,20 @@ class PartitionPlan:
         return self.shard_of[node]
 
     def nodes_of(self, shard: int) -> List[NodeId]:
-        """All assigned nodes of one shard (sorted, for stable output)."""
-        return sorted(n for n, s in self.shard_of.items() if s == shard)
+        """All assigned nodes of one shard (sorted, for stable output).
+
+        The per-shard lists are built once on first use — a single pass
+        over ``shard_of`` — instead of rescanning the full map per
+        shard (O(N·S) across the partition CLI and tests).
+        """
+        cache = self.__dict__.get("_nodes_cache")
+        if cache is None:
+            buckets: List[List[NodeId]] = [[] for _ in range(self.n_shards)]
+            for node, s in self.shard_of.items():
+                buckets[s].append(node)
+            cache = tuple(tuple(sorted(b)) for b in buckets)
+            object.__setattr__(self, "_nodes_cache", cache)
+        return list(cache[shard])
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -71,25 +103,47 @@ class PartitionPlan:
         }
 
 
-def _subtree_nodes(h: Hierarchy, root: NodeId) -> List[NodeId]:
+# ----------------------------------------------------------------------
+# Partition units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Unit:
+    """One indivisible assignment unit: a subtree root, its NEs, its MHs."""
+
+    root: NodeId
+    nodes: Tuple[NodeId, ...]
+    mhs: Tuple[NodeId, ...]
+
+    @property
+    def weight(self) -> int:
+        return len(self.nodes) + len(self.mhs)
+
+
+def _subtree_nodes(
+    h: Hierarchy,
+    root: NodeId,
+    skip_rings: Optional[AbstractSet[object]] = None,
+) -> List[NodeId]:
     """``root`` plus every descendant NE.
 
     Descent follows parent→child tree links *and* ring membership: only
     a ring's leader carries the tree link to its parent, so reaching a
     leader pulls in its whole ring, and every ring member's children in
-    turn (this is the paper's self-similarity — "if we consider each
-    logical ring as one node, the RingNet hierarchy becomes a tree").
-    The top ring itself is excluded: its members are the subtree roots.
+    turn.  Rings in ``skip_rings`` are not expanded — the top ring when
+    cutting at BRs, plus the root's own ring when carving one member's
+    subtree out of a child ring (its siblings are separate units).  The
+    default skips exactly the root's own ring: the closed subtree.
     """
+    if skip_rings is None:
+        skip_rings = {h.ring_of.get(root)}
     out: List[NodeId] = []
     seen = {root}
     stack = [root]
-    top_ring_id = h.top_ring_id
     while stack:
         node = stack.pop()
         out.append(node)
         ring_id = h.ring_of.get(node)
-        if ring_id is not None and ring_id != top_ring_id:
+        if ring_id is not None and ring_id not in skip_rings:
             for member in h.rings[ring_id].members:
                 if member not in seen:
                     seen.add(member)
@@ -101,61 +155,98 @@ def _subtree_nodes(h: Hierarchy, root: NodeId) -> List[NodeId]:
     return out
 
 
-def partition_hierarchy(
+def _attach_mhs(
+    units: Sequence[Tuple[NodeId, List[NodeId]]],
     h: Hierarchy,
-    n_shards: int,
-    attachments: Optional[Mapping[NodeId, NodeId]] = None,
-) -> PartitionPlan:
-    """Partition a hierarchy into ``n_shards`` BR-subtree groups.
-
-    ``attachments`` maps each initial MH to its AP; every MH is placed
-    on its AP's shard (the co-location invariant the partition tests
-    pin).  MHs present in the hierarchy but absent from ``attachments``
-    are rejected — an unplaced MH would make ownership ambiguous.
-    """
-    if n_shards < 1:
-        raise PartitionError(f"n_shards must be >= 1, got {n_shards}")
-    if h.top_ring_id is None:
-        raise PartitionError("hierarchy has no top ring to partition")
-    attachments = dict(attachments or {})
-
-    brs = list(h.top_ring.members)
-    subtrees: Dict[NodeId, List[NodeId]] = {
-        br: _subtree_nodes(h, br) for br in brs
-    }
-    # MHs weigh into their AP's subtree.
-    mhs_under: Dict[NodeId, List[NodeId]] = {br: [] for br in brs}
-    ap_to_br: Dict[NodeId, NodeId] = {}
-    for br, nodes in subtrees.items():
+    attachments: Mapping[NodeId, NodeId],
+) -> List[_Unit]:
+    """Weigh every initially attached MH into the unit owning its AP."""
+    unit_of_ap: Dict[NodeId, int] = {}
+    for idx, (_, nodes) in enumerate(units):
         for node in nodes:
-            ap_to_br[node] = br
+            unit_of_ap[node] = idx
+    mhs: List[List[NodeId]] = [[] for _ in units]
     for mh, ap in attachments.items():
-        br = ap_to_br.get(ap)
-        if br is None:
+        idx = unit_of_ap.get(ap)
+        if idx is None:
             raise PartitionError(f"MH {mh!r} attaches to unknown AP {ap!r}")
-        mhs_under[br].append(mh)
+        mhs[idx].append(mh)
     unplaced = [mh for mh in h.nodes_of_tier(Tier.MH) if mh not in attachments]
     if unplaced:
         raise PartitionError(
             f"MHs without an initial attachment cannot be placed: {unplaced}")
+    return [_Unit(root, tuple(nodes), tuple(sorted(ms)))
+            for (root, nodes), ms in zip(units, mhs)]
 
-    # Greedy LPT: heaviest subtree first onto the lightest shard.
-    # Deterministic: ties break on BR id, then on shard index.
-    order = sorted(brs, key=lambda br: (-(len(subtrees[br])
-                                          + len(mhs_under[br])), br))
+
+def _br_units(
+    h: Hierarchy,
+    attachments: Mapping[NodeId, NodeId],
+) -> List[_Unit]:
+    """One unit per top-ring member: the whole BR subtree."""
+    skip = {h.top_ring_id}
+    pairs = [(br, _subtree_nodes(h, br, skip)) for br in h.top_ring.members]
+    return _attach_mhs(pairs, h, attachments)
+
+
+def _split_unit(h: Hierarchy, unit: _Unit,
+                attachments: Mapping[NodeId, NodeId]) -> List[_Unit]:
+    """Split one BR unit one ring level down.
+
+    Yields the BR core (the root plus anything not below a child ring)
+    and one unit per child-ring member's closed subtree.  A root with
+    no child ring is returned unchanged — there is nothing to split.
+    """
+    top = h.top_ring_id
+    child_roots: List[NodeId] = []
+    for child in h.children.get(unit.root, ()):
+        ring_id = h.ring_of.get(child)
+        if ring_id is None or ring_id == top:
+            continue
+        for member in h.rings[ring_id].members:
+            if member not in child_roots:
+                child_roots.append(member)
+    if not child_roots:
+        return [unit]
+    pairs = []
+    covered = set()
+    for root in child_roots:
+        skip = {top, h.ring_of.get(root)}
+        nodes = _subtree_nodes(h, root, skip)
+        covered.update(nodes)
+        pairs.append((root, nodes))
+    core = [n for n in unit.nodes if n not in covered]
+    pairs.insert(0, (unit.root, core))
+    sub_attach = {mh: ap for mh, ap in attachments.items()
+                  if mh in set(unit.mhs)}
+    unit_of_ap: Dict[NodeId, int] = {}
+    for idx, (_, nodes) in enumerate(pairs):
+        for node in nodes:
+            unit_of_ap[node] = idx
+    mhs: List[List[NodeId]] = [[] for _ in pairs]
+    for mh, ap in sub_attach.items():
+        mhs[unit_of_ap[ap]].append(mh)
+    return [_Unit(root, tuple(nodes), tuple(sorted(ms)))
+            for (root, nodes), ms in zip(pairs, mhs)]
+
+
+def _lpt_assign(units: Sequence[_Unit], n_shards: int) -> PartitionPlan:
+    """Greedy LPT: heaviest unit first onto the lightest shard.
+
+    Deterministic: ties break on unit root id, then on shard index.
+    """
+    order = sorted(units, key=lambda u: (-u.weight, u.root))
     loads = [0] * n_shards
     shard_of: Dict[NodeId, int] = {}
     subtree_shard: Dict[NodeId, int] = {}
-    for br in order:
+    for unit in order:
         target = min(range(n_shards), key=lambda s: (loads[s], s))
-        weight = len(subtrees[br]) + len(mhs_under[br])
-        loads[target] += weight
-        subtree_shard[br] = target
-        for node in subtrees[br]:
+        loads[target] += unit.weight
+        subtree_shard[unit.root] = target
+        for node in unit.nodes:
             shard_of[node] = target
-        for mh in mhs_under[br]:
+        for mh in unit.mhs:
             shard_of[mh] = target
-
     return PartitionPlan(
         n_shards=n_shards,
         shard_of=shard_of,
@@ -164,7 +255,134 @@ def partition_hierarchy(
     )
 
 
-def partition_spec(spec, n_shards: int) -> PartitionPlan:
+# ----------------------------------------------------------------------
+# Partitioner interface
+# ----------------------------------------------------------------------
+class Partitioner:
+    """Strategy interface: hierarchy + attachments → :class:`PartitionPlan`.
+
+    Implementations must be deterministic — every worker derives the
+    plan independently and the traces must stay byte-identical at every
+    shard count, so any total, co-located assignment is correct and the
+    choice is purely a load/locality tradeoff.
+    """
+
+    name: str = "base"
+
+    def partition(
+        self,
+        h: Hierarchy,
+        n_shards: int,
+        attachments: Optional[Mapping[NodeId, NodeId]] = None,
+    ) -> PartitionPlan:
+        raise NotImplementedError
+
+    def _check(self, h: Hierarchy, n_shards: int) -> None:
+        if n_shards < 1:
+            raise PartitionError(f"n_shards must be >= 1, got {n_shards}")
+        if h.top_ring_id is None:
+            raise PartitionError("hierarchy has no top ring to partition")
+
+
+class LPTPartitioner(Partitioner):
+    """Greedy LPT over whole BR subtrees (the original strategy)."""
+
+    name = "lpt"
+
+    def partition(self, h, n_shards, attachments=None):
+        self._check(h, n_shards)
+        units = _br_units(h, dict(attachments or {}))
+        return _lpt_assign(units, n_shards)
+
+
+class BalancedPartitioner(Partitioner):
+    """LPT that splits BR subtrees when the coarse plan is lopsided.
+
+    A BR-granular plan is kept when its max/min shard weight stays
+    within ``max_imbalance`` — it has the best locality (no tree link
+    is ever cut).  When it exceeds the threshold, or leaves shards
+    empty, every BR unit is split one ring level down (BR core + one
+    unit per child-ring member) and LPT re-runs over the finer units.
+    New cut edges are provisioned WIRED tree/ring links with positive
+    latency, so the lookahead bound survives.
+    """
+
+    name = "balanced"
+
+    def __init__(self, max_imbalance: float = 1.25):
+        if max_imbalance < 1.0:
+            raise PartitionError(
+                f"max_imbalance must be >= 1.0, got {max_imbalance}")
+        self.max_imbalance = max_imbalance
+
+    def partition(self, h, n_shards, attachments=None):
+        self._check(h, n_shards)
+        attachments = dict(attachments or {})
+        units = _br_units(h, attachments)
+        coarse = _lpt_assign(units, n_shards)
+        if n_shards == 1 or self._balanced(coarse.weights):
+            return coarse
+        fine_units: List[_Unit] = []
+        for unit in units:
+            fine_units.extend(_split_unit(h, unit, attachments))
+        return _lpt_assign(fine_units, n_shards)
+
+    def _balanced(self, weights: Sequence[int]) -> bool:
+        lo, hi = min(weights), max(weights)
+        if lo <= 0:
+            return False
+        return hi <= self.max_imbalance * lo
+
+
+#: Registry of partitioner strategies for CLI/config lookup.
+PARTITIONERS: Dict[str, type] = {
+    LPTPartitioner.name: LPTPartitioner,
+    BalancedPartitioner.name: BalancedPartitioner,
+}
+
+DEFAULT_PARTITIONER = BalancedPartitioner.name
+
+
+def get_partitioner(
+    which: Union[None, str, Partitioner] = None,
+) -> Partitioner:
+    """Resolve a partitioner name (or pass an instance through)."""
+    if which is None:
+        which = DEFAULT_PARTITIONER
+    if isinstance(which, Partitioner):
+        return which
+    cls = PARTITIONERS.get(which)
+    if cls is None:
+        raise PartitionError(
+            f"unknown partitioner {which!r} "
+            f"(have: {sorted(PARTITIONERS)})")
+    return cls()
+
+
+def partition_hierarchy(
+    h: Hierarchy,
+    n_shards: int,
+    attachments: Optional[Mapping[NodeId, NodeId]] = None,
+) -> PartitionPlan:
+    """Partition a hierarchy into ``n_shards`` BR-subtree groups.
+
+    The original LPT entry point, kept for callers that want the
+    coarse BR-granular plan; :func:`partition_spec` routes through the
+    pluggable :class:`Partitioner` registry instead.
+
+    ``attachments`` maps each initial MH to its AP; every MH is placed
+    on its AP's shard (the co-location invariant the partition tests
+    pin).  MHs present in the hierarchy but absent from ``attachments``
+    are rejected — an unplaced MH would make ownership ambiguous.
+    """
+    return LPTPartitioner().partition(h, n_shards, attachments)
+
+
+def partition_spec(
+    spec,
+    n_shards: int,
+    partitioner: Union[None, str, Partitioner] = None,
+) -> PartitionPlan:
     """Build the topology a spec describes and partition it.
 
     Only the full RingNet system is shardable — the baselines have no
@@ -192,7 +410,7 @@ def partition_spec(spec, n_shards: int) -> PartitionPlan:
                            mhs_per_ap=shape.mhs_per_ap)
         h = build_hierarchy(hs)
         attach = initial_attachments(hs)
-    return partition_hierarchy(h, n_shards, attach)
+    return get_partitioner(partitioner).partition(h, n_shards, attach)
 
 
 # ----------------------------------------------------------------------
@@ -235,3 +453,166 @@ def lookahead_of(cut: Sequence[Tuple[NodeId, NodeId, float]]) -> float:
             f"cut links with non-positive latency break the lookahead "
             f"bound: {offenders}")
     return lookahead
+
+
+def latency_matrix(
+    fabric,
+    plan: PartitionPlan,
+    wireless_floor: Optional[float] = None,
+) -> List[List[float]]:
+    """Per-shard-pair lookahead: ``L[j][i]`` bounds influence j → i.
+
+    Nothing shard *j* does at time ``t`` can affect shard *i* before
+    ``t + L[j][i]``: every direct cross-shard effect rides a fabric
+    link, so the bound for a pair is the minimum latency over links
+    crossing it.  Two terms contribute:
+
+    * provisioned links crossing the cut right now, and
+    * ``wireless_floor`` — the facade's wireless spec latency — on
+      *every* pair, because the one kind of link minted mid-run is an
+      MH↔AP attachment at exactly that spec (``handoff`` /
+      ``add_mobile_host``), and a roaming MH can wire any shard pair
+      together.  With the floor in place the matrix is invariant for
+      the whole run and every worker derives it identically at build
+      time — no recompute protocol needed.
+
+    Pairs with no link and no floor are ``inf`` (never constrain); the
+    diagonal is 0.  Non-positive entries would break the bounded-lag
+    guarantee and raise :class:`PartitionError`.
+    """
+    n = plan.n_shards
+    inf = float("inf")
+    mat = [[0.0 if i == j else inf for i in range(n)] for j in range(n)]
+    for a, b, lat in cut_edges(fabric, plan):
+        if not lat > 0.0:
+            raise PartitionError(
+                f"cut link ({a!r}, {b!r}) with non-positive latency {lat} "
+                f"breaks the lookahead bound")
+        sa, sb = plan.shard_of[a], plan.shard_of[b]
+        if lat < mat[sa][sb]:
+            mat[sa][sb] = lat
+            mat[sb][sa] = lat
+    if wireless_floor is not None:
+        if not wireless_floor > 0.0:
+            raise PartitionError(
+                f"wireless floor latency must be positive, "
+                f"got {wireless_floor}")
+        for j in range(n):
+            for i in range(n):
+                if i != j and wireless_floor < mat[j][i]:
+                    mat[j][i] = wireless_floor
+    return mat
+
+
+def min_lookahead(matrix: Sequence[Sequence[float]]) -> float:
+    """Smallest finite off-diagonal entry (the old scalar lookahead)."""
+    best = float("inf")
+    for j, row in enumerate(matrix):
+        for i, lat in enumerate(row):
+            if i != j and lat < best:
+                best = lat
+    return best
+
+
+# ----------------------------------------------------------------------
+# Rebalancers: ownership moves at window boundaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MoveProposal:
+    """One proposed ownership move, applied at a rebalance barrier."""
+
+    mh: NodeId
+    from_shard: int
+    to_shard: int
+
+
+class Rebalancer:
+    """Strategy interface: observed load + handoff hints → moves.
+
+    ``propose`` must be a pure, deterministic function of its inputs —
+    the coordinator calls it once per decision point and replicates the
+    result to every worker, and reproducibility of a run's rebalance
+    log depends on it.  Implementations may only move MHs (NEs anchor
+    the partition's tree locality), and proposals must respect MH→AP
+    co-location: an MH may move only to the shard owning its current
+    AP.
+    """
+
+    name: str = "base"
+
+    #: Minimum virtual time between decision points (ms).
+    min_interval: float = 250.0
+
+    def propose(
+        self,
+        pending: Mapping[NodeId, Tuple[int, int]],
+        shard_events: Sequence[int],
+    ) -> List[MoveProposal]:
+        """Decide moves.
+
+        ``pending`` maps each displaced MH to ``(owner_shard,
+        ap_shard)`` — the co-location deficits accumulated from the
+        owning shards' migration notes.  ``shard_events`` is the
+        cumulative per-shard event count (the observed load signal).
+        """
+        raise NotImplementedError
+
+
+class LoadAwareRebalancer(Rebalancer):
+    """Chase MH→AP co-location, unless the target shard is hot.
+
+    Every displaced MH (owned on one shard, attached to an AP on
+    another) is proposed to follow its AP — that re-localizes its
+    wireless traffic — except when the target shard's share of
+    processed events exceeds ``overload_factor`` × the mean while the
+    current owner is no busier: then the MH stays put and its traffic
+    keeps flowing over the cut, which is cheaper than feeding a hot
+    shard more work.  Proposals iterate MHs in sorted order, so the
+    move list is deterministic.
+    """
+
+    name = "load-aware"
+
+    def __init__(self, min_interval: float = 250.0,
+                 overload_factor: float = 1.5):
+        self.min_interval = min_interval
+        self.overload_factor = overload_factor
+
+    def propose(self, pending, shard_events):
+        moves: List[MoveProposal] = []
+        n = len(shard_events)
+        mean = (sum(shard_events) / n) if n else 0.0
+        for mh in sorted(pending):
+            frm, to = pending[mh]
+            if frm == to:
+                continue
+            if (mean > 0
+                    and shard_events[to] > self.overload_factor * mean
+                    and shard_events[to] >= shard_events[frm]):
+                continue
+            moves.append(MoveProposal(mh, frm, to))
+        return moves
+
+
+#: Registry of rebalancer strategies ("none" disables rebalancing).
+REBALANCERS: Dict[str, Optional[type]] = {
+    LoadAwareRebalancer.name: LoadAwareRebalancer,
+    "none": None,
+}
+
+DEFAULT_REBALANCER = LoadAwareRebalancer.name
+
+
+def get_rebalancer(
+    which: Union[None, str, Rebalancer] = None,
+) -> Optional[Rebalancer]:
+    """Resolve a rebalancer name; ``"none"`` → None (disabled)."""
+    if which is None:
+        which = DEFAULT_REBALANCER
+    if isinstance(which, Rebalancer):
+        return which
+    if which not in REBALANCERS:
+        raise PartitionError(
+            f"unknown rebalancer {which!r} (have: {sorted(REBALANCERS)})")
+    cls = REBALANCERS[which]
+    return None if cls is None else cls()

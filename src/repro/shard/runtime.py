@@ -14,19 +14,30 @@ Execution model (bulk-synchronous conservative PDES):
   without any cross-shard state transfer.
 * **Data-plane events** run only on their owner's shard.  A message to
   a remote node is exported with the arrival time and causal key the
-  sequential engine would have used, and imported into the destination
-  shard's heap at the next synchronization.
-* Workers advance in lockstep windows of width ``lookahead`` — the
-  minimum cut-link latency — so nothing a shard does inside a window
-  can affect another shard within the same window.  The coordinator
-  barriers every window, routes exports, and skips dead time (the next
-  window starts at the globally earliest pending event when that is
-  later than ``W + lookahead``).
+  sequential engine would have used, batched per destination shard,
+  and imported into the destination's heap at the next
+  synchronization.
+* Workers advance behind **per-shard grants** derived from the
+  cut-latency matrix ``L[j][i]`` (:func:`repro.shard.partition
+  .latency_matrix`): shard *i* may run to ``min_j(lb_j + L[j][i])``
+  where ``lb_j`` lower-bounds anything shard *j* can still send.  The
+  bounds are closed under multi-hop influence (a Bellman–Ford
+  relaxation over the matrix), so a shard stalls only on the links
+  that can actually reach it — not on the fastest link anywhere in the
+  fabric.  The coordinator grants asynchronously per shard; a shard
+  whose bound has not moved is simply not answered until it has.
 * Events registered as **probes** (churn ticks, token-holder crashes)
   need globally-gathered inputs: every shard pauses exactly at the
   probe's ``(time, key)``, the coordinator merges the per-shard
   gathers, and the event then executes replicated with identical
   inputs.
+* A :class:`~repro.shard.partition.Rebalancer` may propose MH
+  ownership moves.  The coordinator announces ``(T_rb, moves)`` at a
+  moment every shard has yet to reach, all shards park exactly at
+  ``T_rb``, the old owners ship the MHs' migratable state
+  (:mod:`repro.shard.migrate`), every shard flips its ownership map,
+  and the new owners restore — the move is invisible to the merged
+  trace.
 
 ``shards=1`` bypasses all of this and runs the plain sequential engine
 — the exact code path every non-sharded caller uses — so non-sharded
@@ -39,13 +50,17 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.spec import ExperimentSpec
+from repro.shard import migrate
 from repro.shard.context import ShardContext
-from repro.shard.partition import (PartitionPlan, cut_edges, lookahead_of,
-                                   partition_spec)
+from repro.shard.partition import (PartitionPlan, Partitioner, Rebalancer,
+                                   get_rebalancer, latency_matrix,
+                                   min_lookahead, partition_spec)
 from repro.shard.record import KeyedRecorder, merge_streams
+
+_INF = float("inf")
 
 
 @dataclass
@@ -55,7 +70,10 @@ class ShardRunResult:
     n_shards: int
     lookahead: float
     horizon: float
+    #: Per-shard-pair lookahead matrix (``None`` for sequential runs).
+    lookahead_matrix: Optional[List[List[float]]] = None
     windows: int = 0
+    windows_per_shard: List[int] = field(default_factory=list)
     probe_syncs: int = 0
     events: int = 0
     shard_events: List[int] = field(default_factory=list)
@@ -69,6 +87,11 @@ class ShardRunResult:
     compactions: int = 0
     migrations: int = 0
     migration_log: List[Tuple] = field(default_factory=list)
+    #: Rebalance decisions executed: count, total moves, and the
+    #: ``(T_rb, n_moves)`` log.
+    rebalances: int = 0
+    rebalance_moves: int = 0
+    rebalance_log: List[Tuple[float, int]] = field(default_factory=list)
     deliveries: int = 0
     sent: int = 0
     members: int = 0
@@ -90,16 +113,23 @@ class ShardRunResult:
 
     def stats_dict(self) -> Dict[str, Any]:
         """Machine-readable summary (bench reports embed this)."""
+        matrix = None
+        if self.lookahead_matrix is not None:
+            matrix = [[None if v == _INF else v for v in row]
+                      for row in self.lookahead_matrix]
         return {
             "shards": self.n_shards,
-            "lookahead_ms": self.lookahead if self.lookahead != float("inf")
+            "lookahead_ms": self.lookahead if self.lookahead != _INF
             else None,
+            "lookahead_matrix_ms": matrix,
             "windows": self.windows,
+            "windows_per_shard": list(self.windows_per_shard),
             "probe_syncs": self.probe_syncs,
             "window_stalls": sum(self.stalled_windows),
             "window_stalls_per_shard": list(self.stalled_windows),
             "stall_causes": list(self.stall_causes),
             "barrier_wait_s": [round(b, 6) for b in self.barrier_wait_s],
+            "shard_wall_s": [round(w, 6) for w in self.shard_walls],
             "export_queue_peak_per_shard": list(self.export_q_peaks),
             "events": self.events,
             "shard_events": list(self.shard_events),
@@ -107,6 +137,9 @@ class ShardRunResult:
             "peak_heap": self.peak_heap,
             "compactions": self.compactions,
             "migrations": self.migrations,
+            "rebalances": self.rebalances,
+            "rebalance_moves": self.rebalance_moves,
+            "rebalance_log": [list(e) for e in self.rebalance_log],
             "deliveries": self.deliveries,
             "wall_s": round(self.wall_s, 6),
             "build_s": round(self.build_s, 6),
@@ -155,10 +188,16 @@ def _bind(ctx: ShardContext, scenario) -> None:
         sim = scenario.sim
 
         def migration_hook(mh, old_ap, new_ap):
-            if ctx.is_local(mh) and ctx.shard_of(new_ap) != ctx.shard_id:
-                ctx.migrations += 1
+            # Every driven handoff of a locally-owned MH is noted — the
+            # rebalancer needs returns-home as much as departures to
+            # keep its co-location picture straight; only cross-shard
+            # moves count as migrations.
+            if ctx.is_local(mh):
+                dest = ctx.shard_of(new_ap)
+                if dest != ctx.shard_id:
+                    ctx.migrations += 1
                 ctx.migration_notes.append(
-                    (sim.now, mh, old_ap, new_ap, ctx.shard_of(new_ap)))
+                    (sim.now, mh, old_ap, new_ap, dest))
 
         scenario.mobility.migration_hook = migration_hook
 
@@ -169,20 +208,27 @@ def _apply_imports(sim, fabric, imports) -> int:
     return len(imports)
 
 
-def _windowed_run(sim, ctx: ShardContext, fabric, conn,
+def _windowed_run(sim, ctx: ShardContext, net, conn,
                   horizon: float) -> Dict[str, Any]:
-    """Drive the engine through coordinator-synchronized windows."""
-    lookahead = ctx.lookahead
-    W = 0.0
-    windows = stalls = probes = 0
+    """Drive the engine through coordinator-granted windows."""
+    fabric = net.fabric
+    front = 0.0
+    granted: Optional[float] = None
+    pending_rebal: Optional[Tuple[float, Tuple]] = None
+    windows = stalls = probes = rebalances = moves_in = moves_out = 0
     barrier_wait = 0.0
     stall_causes: Dict[str, int] = {}
 
-    def sync(payload: Dict[str, Any]) -> Dict[str, Any]:
-        nonlocal barrier_wait
-        payload["exports"] = ctx.take_outbox()
-        payload["migrations"] = ctx.take_migration_notes()
-        conn.send(payload)
+    def payload(kind: str) -> Dict[str, Any]:
+        return {"t": kind, "front": front,
+                "earliest": sim.peek_entry(),
+                "events": sim.events_processed,
+                "exports": ctx.take_outbox(),
+                "migrations": ctx.take_migration_notes()}
+
+    def sync(msg: Dict[str, Any]) -> Dict[str, Any]:
+        nonlocal barrier_wait, pending_rebal
+        conn.send(msg)
         t0 = time.perf_counter()
         reply = conn.recv()
         waited = time.perf_counter() - t0
@@ -190,15 +236,23 @@ def _windowed_run(sim, ctx: ShardContext, fabric, conn,
         obs = sim.obs
         if obs is not None:
             obs.observe("shard.barrier_wait_ms", waited * 1e3)
-        ctx.imported += _apply_imports(sim, fabric, reply["imports"])
+        rb = reply.get("rebal")
+        if rb is not None:
+            pending_rebal = rb
         return reply
+
+    def apply(reply: Dict[str, Any]) -> None:
+        ctx.imported += _apply_imports(sim, fabric, reply["imports"])
 
     def run_probe(probe) -> None:
         nonlocal probes
         probe_t, probe_k, kind, _ev = probe
         sim.run_window(probe_t, probe_k)
-        reply = sync({"t": "probe", "probe": (kind, probe_t, probe_k),
-                      "data": ctx.gather(kind)})
+        msg = payload("probe")
+        msg["probe"] = (kind, probe_t, probe_k)
+        msg["data"] = ctx.gather(kind)
+        reply = sync(msg)
+        apply(reply)
         ctx.stash_probe(reply["probe_data"])
         entry = sim.peek_entry()
         if entry != (probe_t, probe_k):  # pragma: no cover - invariant
@@ -208,40 +262,97 @@ def _windowed_run(sim, ctx: ShardContext, fabric, conn,
         ctx.pop_probe()
         probes += 1
 
-    while True:
+    def run_rebalance() -> None:
+        nonlocal pending_rebal, rebalances, moves_in, moves_out
+        t_rb, moves = pending_rebal
+        msg = payload("rebal")
+        msg["rb"] = t_rb
+        # Old owners collect (and locally cancel) the outgoing state
+        # *before* the exchange; the blobs ride the sync itself.
+        outgoing = [migrate.collect(sim, net, mv.mh) for mv in moves
+                    if mv.from_shard == ctx.shard_id]
+        msg["states"] = outgoing
+        reply = sync(msg)
+        # Every shard flips the (replicated) ownership map, then the
+        # new owners restore; imports land afterwards so an arrival for
+        # a moved MH schedules on its post-move owner.
+        ctx.apply_moves(moves)
+        for blob in reply["states"]:
+            migrate.restore(sim, net, blob)
+        apply(reply)
+        moves_out += len(outgoing)
+        moves_in += len(reply["states"])
+        rebalances += 1
+        pending_rebal = None
+        obs = sim.obs
+        if obs is not None:
+            obs.inc("shard.rebalance")
+            if outgoing or reply["states"]:
+                obs.inc("shard.rebalance.moves",
+                        len(outgoing) + len(reply["states"]))
+
+    tail = False
+    while not tail:
+        if granted is None:
+            reply = sync(payload("window"))
+            apply(reply)
+            if reply.get("tail"):
+                tail = True
+                break
+            granted = reply["grant"]
+            continue
+        stop_t = granted
+        at_rebal = False
+        if pending_rebal is not None and pending_rebal[0] <= granted:
+            stop_t = pending_rebal[0]
+            at_rebal = True
         probe = ctx.peek_probe()
-        if W >= horizon:
-            # Tail: everything <= horizon is safe now (the final window
-            # exchange already routed every import that can land here).
-            if probe is not None and probe[0] <= horizon:
-                run_probe(probe)
-                continue
-            sim.run_window(horizon, inclusive=True)
-            break
-        if probe is not None and probe[0] < min(W + lookahead, horizon):
+        if probe is not None and (probe[0], probe[1]) < (stop_t, 0):
             run_probe(probe)
             continue
-        boundary = min(W + lookahead, horizon)
-        n = sim.run_window(boundary)
+        n = sim.run_window(stop_t)
+        front = stop_t
+        if at_rebal:
+            run_rebalance()
+            granted = None
+            continue
+        granted = None
         windows += 1
         if n == 0:
             stalls += 1
-            # Attribute the stall: an empty heap is genuine idleness; a
-            # non-empty heap means work exists but sits beyond the
-            # lookahead boundary (partition-quality signal).
-            cause = "idle" if sim.peek_entry() is None else "lookahead"
+            # Attribute the stall: blocked on a pending probe barrier,
+            # genuinely idle (empty heap), or work beyond the granted
+            # boundary (partition-quality signal).
+            entry = sim.peek_entry()
+            if probe is not None and (entry is None
+                                      or (probe[0], probe[1]) <= entry):
+                cause = "probe"
+            elif entry is None:
+                cause = "idle"
+            else:
+                cause = "lookahead"
             stall_causes[cause] = stall_causes.get(cause, 0) + 1
             obs = sim.obs
             if obs is not None:
                 obs.inc("shard.stall." + cause)
-        reply = sync({"t": "window", "W": W,
-                      "earliest": sim.peek_entry()})
-        W = reply["W_next"]
+
+    # Tail: every live shard sits at the horizon, so only events at
+    # exactly t == horizon remain and their exports land beyond it.
+    # Probes at the horizon still need their gather exchange.
+    while True:
+        probe = ctx.peek_probe()
+        if probe is not None and probe[0] <= horizon:
+            run_probe(probe)
+            continue
+        sim.run_window(horizon, inclusive=True)
+        break
 
     if sim.now < horizon:
         sim.now = horizon
     return {"windows": windows, "stalls": stalls, "probes": probes,
-            "stall_causes": stall_causes, "barrier_wait_s": barrier_wait}
+            "stall_causes": stall_causes, "barrier_wait_s": barrier_wait,
+            "rebalances": rebalances, "moves_in": moves_in,
+            "moves_out": moves_out}
 
 
 def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
@@ -278,11 +389,17 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
         scenario = build_scenario(spec, sim=sim)
         build_s = time.perf_counter() - t0
         fabric = scenario.net.fabric
-        ctx.lookahead = lookahead_of(cut_edges(fabric, plan))
+        wireless = getattr(scenario.net, "wireless", None)
+        matrix = latency_matrix(
+            fabric, plan,
+            wireless_floor=wireless.latency if wireless is not None
+            else None)
+        ctx.lookahead = min_lookahead(matrix)
+        ctx.lookahead_to = list(matrix[shard_id])
         _bind(ctx, scenario)
 
         conn.send({"t": "ready", "build_s": build_s,
-                   "lookahead": ctx.lookahead})
+                   "lookahead": ctx.lookahead, "matrix": matrix})
         go = conn.recv()
         assert go["t"] == "go"
 
@@ -294,7 +411,7 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
 
         t1 = time.perf_counter()
         scenario.start()
-        loop_stats = _windowed_run(sim, ctx, fabric, conn,
+        loop_stats = _windowed_run(sim, ctx, scenario.net, conn,
                                    horizon=spec.duration_ms)
         wall = time.perf_counter() - t1
 
@@ -308,6 +425,7 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
                 "stall_causes": loop_stats["stall_causes"],
                 "barrier_wait_s": round(loop_stats["barrier_wait_s"], 6),
                 "export_q_peak": ctx.export_q_peak,
+                "rebalances": loop_stats["rebalances"],
             }
             obs_payload = {
                 "report": sub_report,
@@ -332,6 +450,7 @@ def _worker_main(conn, spec_dict: Dict[str, Any], plan: PartitionPlan,
             "stall_causes": loop_stats["stall_causes"],
             "barrier_wait_s": loop_stats["barrier_wait_s"],
             "probes": loop_stats["probes"],
+            "rebalances": loop_stats["rebalances"],
             "exported": ctx.exported,
             "export_q_peak": ctx.export_q_peak,
             "obs": obs_payload,
@@ -414,6 +533,7 @@ def _sequential_result(spec: ExperimentSpec, record: bool,
         events=sim.events_processed,
         shard_events=[sim.events_processed],
         shard_walls=[t2 - t1],
+        windows_per_shard=[0],
         stalled_windows=[0],
         stall_causes=[{}],
         barrier_wait_s=[0.0],
@@ -462,9 +582,184 @@ def _assemble_obs(result: ShardRunResult, spec: ExperimentSpec,
         key=lambda r: (r.get("w", 0), r.get("shard", 0)))
 
 
+class _Coordinator:
+    """Round state for one sharded run: grants, probes, rebalances.
+
+    The coordinator is message-driven: it receives exactly one payload
+    from every shard it has answered, ingests side effects (export
+    routing, migration notes, load counters) immediately, and then
+    serves whatever round the stashed payloads allow — a probe or
+    rebalance barrier when *all* live shards parked there, otherwise
+    per-shard grants to the window-parked shards whose bound moved.
+    """
+
+    def __init__(self, shards: int, horizon: float,
+                 matrix: List[List[float]],
+                 rebalancer: Optional[Rebalancer],
+                 result: ShardRunResult):
+        self.n = shards
+        self.horizon = horizon
+        self.matrix = matrix
+        self.rebalancer = rebalancer
+        self.result = result
+        self.fronts = [0.0] * shards
+        self.earliest: List[Optional[Tuple[float, int]]] = [None] * shards
+        self.shard_events = [0] * shards
+        self.inbound: List[List[Tuple]] = [[] for _ in range(shards)]
+        self.inbound_min = [_INF] * shards
+        #: Co-location deficits: mh → (owner_shard, ap_shard), latest
+        #: migration note wins, cleared when the MH comes home or moves.
+        self.pending_moves: Dict[str, Tuple[int, int]] = {}
+        #: Announced-but-unapplied rebalance: ``(T_rb, moves)``.
+        self.pending_rebal: Optional[Tuple[float, Tuple]] = None
+        self.move_dest: Dict[str, int] = {}
+        self.last_rebal_t = 0.0
+
+    # -- ingestion ------------------------------------------------------
+    def ingest(self, i: int, m: Dict[str, Any]) -> None:
+        self.fronts[i] = m["front"]
+        self.earliest[i] = m["earliest"]
+        self.shard_events[i] = m["events"]
+        for note in m["migrations"]:
+            mh, dest = note[1], note[4]
+            if dest != i:
+                self.result.migration_log.append(note)
+                self.pending_moves[mh] = (i, dest)
+            else:
+                self.pending_moves.pop(mh, None)
+        rb_t = self.pending_rebal[0] if self.pending_rebal else None
+        for dest, batch in m["exports"].items():
+            for item in batch:
+                d = dest
+                if rb_t is not None and item[0] >= rb_t:
+                    d = self.move_dest.get(item[2], dest)
+                self.inbound[d].append(item)
+                if item[0] < self.inbound_min[d]:
+                    self.inbound_min[d] = item[0]
+
+    def drain(self, i: int) -> List[Tuple]:
+        batch, self.inbound[i] = self.inbound[i], []
+        self.inbound_min[i] = _INF
+        return batch
+
+    def reroute_for_moves(self) -> None:
+        """Re-route undrained inbound items to moved MHs' new owners.
+
+        Called at the rebalance barrier: anything still queued for a
+        moving MH necessarily arrives at or after ``T_rb`` (grants never
+        outrun queued arrivals), so the new owner can admit it.  Items
+        ingested *before* the announcement missed the ingest-time
+        rewrite; this sweep catches them.
+        """
+        moved = self.move_dest
+        for i in range(self.n):
+            if not self.inbound[i]:
+                continue
+            kept = []
+            for item in self.inbound[i]:
+                d = moved.get(item[2], i)
+                if d != i:
+                    self.inbound[d].append(item)
+                else:
+                    kept.append(item)
+            self.inbound[i] = kept
+        for i in range(self.n):
+            self.inbound_min[i] = min(
+                (it[0] for it in self.inbound[i]), default=_INF)
+
+    # -- grant math -----------------------------------------------------
+    def lower_bounds(self) -> List[float]:
+        """Earliest time each shard can still influence anyone.
+
+        Base: its earliest unexecuted event or queued inbound arrival.
+        Relaxed over the latency matrix (Bellman–Ford) so multi-hop
+        wake-up chains — shard k wakes j, j then reaches i sooner than
+        j's own events would — are bounded too.
+        """
+        lb = []
+        for j in range(self.n):
+            e = self.earliest[j]
+            b = e[0] if e is not None else _INF
+            if self.inbound_min[j] < b:
+                b = self.inbound_min[j]
+            lb.append(b)
+        mat = self.matrix
+        for _ in range(self.n):
+            changed = False
+            for j in range(self.n):
+                row_j = lb[j]
+                for k in range(self.n):
+                    if k == j:
+                        continue
+                    c = lb[k] + mat[k][j]
+                    if c < row_j:
+                        row_j = c
+                        changed = True
+                lb[j] = row_j
+            if not changed:
+                break
+        return lb
+
+    def grant_for(self, i: int, lb: List[float]) -> float:
+        raw = _INF
+        mat = self.matrix
+        for j in range(self.n):
+            if j == i:
+                continue
+            c = lb[j] + mat[j][i]
+            if c < raw:
+                raw = c
+        grant = min(self.horizon, raw)
+        return max(grant, self.fronts[i])
+
+    # -- rebalance decisions --------------------------------------------
+    def maybe_announce(self) -> None:
+        """Decide a rebalance when every shard is window-parked."""
+        rb = self.rebalancer
+        if rb is None or self.pending_rebal is not None \
+                or not self.pending_moves:
+            return
+        t_rb = max(self.fronts)
+        if not (0.0 < t_rb < self.horizon):
+            return
+        if t_rb - self.last_rebal_t < rb.min_interval:
+            return
+        moves = [mv for mv in rb.propose(dict(self.pending_moves),
+                                         tuple(self.shard_events))
+                 if mv.from_shard != mv.to_shard]
+        if not moves:
+            return
+        self.pending_rebal = (t_rb, tuple(moves))
+        self.move_dest = {mv.mh: mv.to_shard for mv in moves}
+        for mv in moves:
+            self.pending_moves.pop(mv.mh, None)
+        self.result.rebalances += 1
+        self.result.rebalance_moves += len(moves)
+        self.result.rebalance_log.append((t_rb, len(moves)))
+
+    def finish_rebalance(self) -> None:
+        t_rb, moves = self.pending_rebal
+        # An MH that handed off again between announcement and barrier
+        # left a note naming the *old* owner; the move just executed, so
+        # rewrite the deficit to the new owner (or drop it if satisfied).
+        for mv in moves:
+            entry = self.pending_moves.get(mv.mh)
+            if entry is not None:
+                if entry[1] == mv.to_shard:
+                    self.pending_moves.pop(mv.mh)
+                else:
+                    self.pending_moves[mv.mh] = (mv.to_shard, entry[1])
+        self.pending_rebal = None
+        self.move_dest = {}
+        self.last_rebal_t = t_rb
+
+
 def run_sharded(spec: ExperimentSpec, shards: int,
                 record: bool = False, obs: bool = False,
-                spans: bool = False) -> ShardRunResult:
+                spans: bool = False,
+                partitioner: Union[None, str, Partitioner] = None,
+                rebalancer: Union[None, str, Rebalancer] = None,
+                ) -> ShardRunResult:
     """Run one spec on ``shards`` worker processes.
 
     ``record=True`` captures every shard's keyed trace stream and
@@ -485,13 +780,20 @@ def run_sharded(spec: ExperimentSpec, shards: int,
     merges the streams into :attr:`ShardRunResult.span_events` in a
     deterministic order (time, event code, fields), so the merged
     stream assembles identically to a sequential collection.
+
+    ``partitioner`` / ``rebalancer`` pick strategies from the
+    :mod:`repro.shard.partition` registries (instances work too);
+    ``rebalancer="none"`` disables ownership moves.  The defaults —
+    the balanced partitioner with the load-aware rebalancer — are what
+    the identity matrix runs, so adaptivity is exercised, not opt-in.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards == 1:
         return _sequential_result(spec, record, obs=obs, spans=spans)
 
-    plan = partition_spec(spec, shards)
+    plan = partition_spec(spec, shards, partitioner)
+    rb = get_rebalancer(rebalancer)
     mp = multiprocessing.get_context()
     conns = []
     procs = []
@@ -526,86 +828,143 @@ def run_sharded(spec: ExperimentSpec, shards: int,
 
     try:
         readies = [recv(i) for i in range(shards)]
-        lookaheads = {r["lookahead"] for r in readies}
-        if len(lookaheads) != 1:  # pragma: no cover - invariant
-            raise RuntimeError(f"workers disagree on lookahead: {lookaheads}")
-        lookahead = lookaheads.pop()
-        result.lookahead = lookahead
+        matrices = [r["matrix"] for r in readies]
+        if any(m != matrices[0] for m in matrices):  # pragma: no cover
+            raise RuntimeError(
+                f"workers disagree on the lookahead matrix: {matrices}")
+        result.lookahead_matrix = matrices[0]
+        result.lookahead = min_lookahead(matrices[0])
         result.build_s = max(r["build_s"] for r in readies)
 
         wall_start = time.perf_counter()
         for conn in conns:
             conn.send({"t": "go"})
 
-        horizon = spec.duration_ms
-        W = 0.0
+        coord = _Coordinator(shards, spec.duration_ms, matrices[0], rb,
+                             result)
+        stash: List[Optional[Dict[str, Any]]] = [None] * shards
+
+        def collect_done(i: int, m: Dict[str, Any]) -> None:
+            done[i] = True
+            result.shard_events.append(m["events"])
+            result.shard_walls.append(m["wall_s"])
+            result.windows_per_shard.append(m["windows"])
+            result.stalled_windows.append(m["stalls"])
+            result.stall_causes.append(m["stall_causes"])
+            result.barrier_wait_s.append(m["barrier_wait_s"])
+            result.export_q_peaks.append(m["export_q_peak"])
+            result.events += m["events"]
+            result.exported += m["exported"]
+            # Tail notes cover every driven handoff; only cross-shard
+            # ones are migrations (mirrors ingest()'s filter).
+            result.migration_log.extend(
+                n for n in m["migrations_tail"] if n[4] != i)
+            result.peak_heap = max(result.peak_heap, m["peak_heap"])
+            result.compactions += m["compactions"]
+            result.migrations += m["migrations"]
+            result.deliveries += m["deliveries"]
+            result.members += m["members"]
+            result.sent += m["sent"]
+            result.windows = max(result.windows, m["windows"])
+            result.probe_syncs = max(result.probe_syncs, m["probes"])
+            for kind, n in m["trace_counts"].items():
+                result.trace_counts[kind] = \
+                    result.trace_counts.get(kind, 0) + n
+            entries_per_shard[i] = m["entries"]
+            obs_per_shard[i] = m["obs"]
+            spans_per_shard[i] = m["spans"]
+
         while not all(done):
-            msgs: Dict[int, Dict[str, Any]] = {}
             for i in range(shards):
-                if not done[i]:
-                    msgs[i] = recv(i)
-            kinds = {m["t"] for m in msgs.values()}
+                if not done[i] and stash[i] is None:
+                    m = recv(i)
+                    if m["t"] != "done":
+                        coord.ingest(i, m)
+                    stash[i] = m
+            kinds = {stash[i]["t"] for i in range(shards) if not done[i]}
+
             if kinds == {"done"}:
-                for i, m in msgs.items():
-                    done[i] = True
-                    result.shard_events.append(m["events"])
-                    result.shard_walls.append(m["wall_s"])
-                    result.stalled_windows.append(m["stalls"])
-                    result.stall_causes.append(m["stall_causes"])
-                    result.barrier_wait_s.append(m["barrier_wait_s"])
-                    result.export_q_peaks.append(m["export_q_peak"])
-                    result.events += m["events"]
-                    result.exported += m["exported"]
-                    result.migration_log.extend(m["migrations_tail"])
-                    result.peak_heap = max(result.peak_heap, m["peak_heap"])
-                    result.compactions += m["compactions"]
-                    result.migrations += m["migrations"]
-                    result.deliveries += m["deliveries"]
-                    result.members += m["members"]
-                    result.sent += m["sent"]
-                    result.windows = max(result.windows, m["windows"])
-                    result.probe_syncs = max(result.probe_syncs, m["probes"])
-                    for kind, n in m["trace_counts"].items():
-                        result.trace_counts[kind] = \
-                            result.trace_counts.get(kind, 0) + n
-                    entries_per_shard[i] = m["entries"]
-                    obs_per_shard[i] = m["obs"]
-                    spans_per_shard[i] = m["spans"]
+                for i in range(shards):
+                    if not done[i]:
+                        collect_done(i, stash[i])
+                        stash[i] = None
                 break
-            if len(kinds) != 1:  # pragma: no cover - invariant
-                raise RuntimeError(f"shards desynchronized: {kinds}")
-            round_kind = kinds.pop()
+            if "done" in kinds:  # pragma: no cover - invariant
+                raise RuntimeError(
+                    f"shards desynchronized at completion: {kinds}")
 
-            # Route exports to their destination shards; collect the
-            # arrival times for the dead-time skip below.
-            inbound: List[List[Tuple[float, int, str, Any]]] = \
-                [[] for _ in range(shards)]
-            arrivals: List[float] = []
-            for m in msgs.values():
-                for (dest, t, key, dst, payload) in m["exports"]:
-                    inbound[dest].append((t, key, dst, payload))
-                    arrivals.append(t)
-                result.migration_log.extend(m["migrations"])
-
-            if round_kind == "probe":
-                idents = {m["probe"] for m in msgs.values()}
+            if kinds == {"probe"}:
+                idents = {stash[i]["probe"] for i in range(shards)}
                 if len(idents) != 1:  # pragma: no cover - invariant
-                    raise RuntimeError(f"probe desync across shards: {idents}")
+                    raise RuntimeError(
+                        f"probe desync across shards: {idents}")
                 kind = idents.pop()[0]
                 merged = _merge_probe_data(
-                    kind, [m["data"] for m in msgs.values()])
+                    kind, [stash[i]["data"] for i in range(shards)])
                 for i in range(shards):
-                    conns[i].send({"imports": inbound[i],
-                                   "probe_data": merged})
-            else:  # window
-                nexts = [m["earliest"][0] for m in msgs.values()
-                         if m["earliest"] is not None]
-                nexts.extend(arrivals)
-                floor = W + lookahead
-                W = min(horizon,
-                        max(floor, min(nexts) if nexts else horizon))
+                    conns[i].send({"imports": coord.drain(i),
+                                   "probe_data": merged,
+                                   "rebal": coord.pending_rebal})
+                    stash[i] = None
+                continue
+
+            if kinds == {"rebal"}:
+                t_rb, moves = coord.pending_rebal
+                rbs = {stash[i]["rb"] for i in range(shards)}
+                if rbs != {t_rb}:  # pragma: no cover - invariant
+                    raise RuntimeError(f"rebalance desync: {rbs} != {t_rb}")
+                coord.reroute_for_moves()
+                states = {}
                 for i in range(shards):
-                    conns[i].send({"imports": inbound[i], "W_next": W})
+                    for blob in stash[i]["states"]:
+                        states[blob["mh"]] = blob
+                for i in range(shards):
+                    mine = [states[mv.mh] for mv in moves
+                            if mv.to_shard == i]
+                    conns[i].send({"imports": coord.drain(i),
+                                   "states": mine})
+                    stash[i] = None
+                coord.finish_rebalance()
+                continue
+
+            # Mixed round: answer the window-parked shards whose bound
+            # lets them advance; probe/rebal-parked shards stay stashed
+            # until everyone reaches their barrier.
+            widx = [i for i in range(shards)
+                    if stash[i] is not None and stash[i]["t"] == "window"]
+            if len(widx) == shards:
+                coord.maybe_announce()
+                if (coord.pending_rebal is None
+                        and all(f >= spec.duration_ms
+                                for f in coord.fronts)):
+                    for i in range(shards):
+                        conns[i].send({"imports": coord.drain(i),
+                                       "tail": True})
+                        stash[i] = None
+                    continue
+            lb = coord.lower_bounds()
+            rb_t = (coord.pending_rebal[0]
+                    if coord.pending_rebal is not None else None)
+            served = 0
+            for i in widx:
+                grant = coord.grant_for(i, lb)
+                # Hold zero-width grants — a shard whose bound has not
+                # moved stays parked instead of spinning — EXCEPT when a
+                # grant would carry the shard to a pending rebalance
+                # barrier: it must be answered to park there.
+                if grant <= coord.fronts[i] and not (
+                        rb_t is not None and grant >= rb_t):
+                    continue
+                conns[i].send({"imports": coord.drain(i),
+                               "grant": grant,
+                               "rebal": coord.pending_rebal})
+                stash[i] = None
+                served += 1
+            if served == 0:  # pragma: no cover - invariant
+                raise RuntimeError(
+                    "window protocol stalled: no shard can advance "
+                    f"(fronts={coord.fronts}, lb={lb})")
+
         result.wall_s = time.perf_counter() - wall_start
 
         if record:
@@ -636,7 +995,10 @@ def run_sharded(spec: ExperimentSpec, shards: int,
 
 
 def record_sharded(spec: ExperimentSpec, shards: int,
-                   stream_path: Optional[str] = None) -> List[str]:
+                   stream_path: Optional[str] = None,
+                   partitioner: Union[None, str, Partitioner] = None,
+                   rebalancer: Union[None, str, Rebalancer] = None,
+                   ) -> List[str]:
     """Canonical merged JSONL lines of a ``shards``-way run.
 
     With ``stream_path`` the merged stream is also written to a
@@ -644,7 +1006,8 @@ def record_sharded(spec: ExperimentSpec, shards: int,
     :func:`repro.sim.trace.write_trace_lines` — the sharded face of the
     streaming trace sink.
     """
-    result = run_sharded(spec, shards, record=True)
+    result = run_sharded(spec, shards, record=True,
+                         partitioner=partitioner, rebalancer=rebalancer)
     lines = result.merged_lines or []
     if stream_path is not None:
         from repro.sim.trace import write_trace_lines

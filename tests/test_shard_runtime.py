@@ -197,3 +197,68 @@ def test_merge_streams_orders_by_key():
 def test_bad_shard_count():
     with pytest.raises(ValueError):
         run_sharded(short("quickstart", 100.0), 0)
+
+
+# ----------------------------------------------------------------------
+# Stall attribution and load-aware rebalancing
+# ----------------------------------------------------------------------
+def test_stall_causes_partition_the_stall_count():
+    """Every empty window is attributed to exactly one cause, and the
+    probe cause appears where replicated probe rounds park a shard short
+    of its grant (the churn_heavy stall regression)."""
+    spec = short("churn_heavy", 1500.0)
+    result = run_sharded(spec, 2, record=True)
+    assert result.probe_syncs > 0
+    assert len(result.stall_causes) == 2
+    for i, causes in enumerate(result.stall_causes):
+        assert set(causes) <= {"lookahead", "probe", "idle"}
+        assert sum(causes.values()) == result.stalled_windows[i]
+    all_causes = set()
+    for causes in result.stall_causes:
+        all_causes.update(k for k, v in causes.items() if v > 0)
+    assert "probe" in all_causes, (
+        "probe-parked windows must be attributed to the probe cause, "
+        f"not folded into {sorted(all_causes)}")
+
+
+def test_rebalancer_moves_ownership_and_keeps_identity():
+    spec = short("handoff_storm", 2000.0)
+    seq = record_spec(spec)
+    result = run_sharded(spec, 2, record=True)
+    # The corridor walk drives MHs across the BR cut: the load-aware
+    # rebalancer (on by default) must fire and actually move ownership.
+    assert result.rebalances > 0
+    assert result.rebalance_moves >= result.rebalances
+    assert first_divergence(seq.lines, result.merged_lines) is None
+    # The decision log is (time, n_moves) at replicated barriers:
+    # strictly increasing, inside the horizon, spaced >= min_interval.
+    times = [t for t, _ in result.rebalance_log]
+    assert all(0.0 < t < spec.duration_ms for t in times)
+    assert times == sorted(times)
+    from repro.shard.partition import LoadAwareRebalancer
+    min_interval = LoadAwareRebalancer().min_interval
+    assert all(b - a >= min_interval for a, b in zip(times, times[1:]))
+    assert sum(n for _, n in result.rebalance_log) == result.rebalance_moves
+
+
+def test_rebalancer_none_disables_moves():
+    spec = short("handoff_storm", 2000.0)
+    result = run_sharded(spec, 2, record=True, rebalancer="none")
+    assert result.rebalances == 0
+    assert result.rebalance_log == []
+    seq = record_spec(spec)
+    assert first_divergence(seq.lines, result.merged_lines) is None
+
+
+def test_stats_dict_reports_adaptive_runtime_fields():
+    spec = short("handoff_storm", 2000.0)
+    result = run_sharded(spec, 2)
+    stats = result.stats_dict()
+    assert stats["rebalances"] == result.rebalances
+    assert stats["rebalance_moves"] == result.rebalance_moves
+    assert stats["rebalance_log"] == [list(e) for e in result.rebalance_log]
+    matrix = stats["lookahead_matrix_ms"]
+    assert len(matrix) == 2 and all(len(row) == 2 for row in matrix)
+    assert matrix[0][0] == 0.0 and matrix[0][1] > 0.0
+    assert stats["windows_per_shard"] and len(stats["shard_wall_s"]) == 2
+    assert stats["stall_causes"] == list(result.stall_causes)

@@ -145,6 +145,33 @@ def test_sharded_trace_byte_identical_to_sequential(name, shards):
         f"engine at {div.describe()}")
 
 
+#: Representative subset for the deeper 8-way decomposition: the
+#: smoke scenario, the two mobility-heavy ones (cross-shard handoffs,
+#: open-world churn — the paths rebalancing exercises hardest), and one
+#: fault-plan scenario (partitions + probe-synchronized activations).
+SHARDS8_SUBSET = ["quickstart", "handoff_storm", "open_world_mobile",
+                  "split_brain"]
+
+
+@pytest.mark.parametrize("name", SHARDS8_SUBSET)
+def test_sharded_trace_byte_identical_at_eight_shards(name):
+    """Identity survives the 8-way split, where BR units must be split
+    below subtree granularity and the rebalancer has the most shards to
+    move ownership between."""
+    from repro.shard import record_sharded
+
+    duration = DURATIONS.get(name, DEFAULT_DURATION)
+    spec = registry.get(name)
+    overrides = {"duration_ms": duration}
+    if spec.warmup_ms >= duration:
+        overrides["warmup_ms"] = duration / 2
+    lines = record_sharded(spec.with_overrides(overrides), 8)
+    div = first_divergence(golden_lines(name), lines)
+    assert div is None, (
+        f"{name} with 8 shards diverged from the sequential engine at "
+        f"{div.describe()}")
+
+
 def test_recorded_stream_replays_through_monitor_suite():
     """The golden streams stay consumable by the offline monitor path."""
     from repro.validation.record import line_to_record
